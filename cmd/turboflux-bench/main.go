@@ -1,0 +1,61 @@
+// Command turboflux-bench regenerates the paper's tables and figures
+// (DESIGN.md §5 maps experiment ids to paper artifacts).
+//
+// Usage:
+//
+//	turboflux-bench -exp fig6 [-users 1500] [-queries 8] [-timeout 5s]
+//	turboflux-bench -exp all
+//	turboflux-bench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"turboflux/internal/harness"
+)
+
+func main() {
+	cfg := harness.DefaultConfig(os.Stdout)
+	exp := flag.String("exp", "", "experiment id (see -list)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.IntVar(&cfg.Users, "users", cfg.Users, "LSBench scale factor (#users)")
+	flag.IntVar(&cfg.Hosts, "hosts", cfg.Hosts, "Netflow host count")
+	flag.IntVar(&cfg.Triples, "triples", cfg.Triples, "Netflow triple count")
+	flag.IntVar(&cfg.QueriesPerSet, "queries", cfg.QueriesPerSet, "queries per set (paper: 100)")
+	flag.DurationVar(&cfg.Timeout, "timeout", cfg.Timeout, "per-query timeout (paper: 2h)")
+	flag.Int64Var(&cfg.SizeCap, "sizecap", cfg.SizeCap, "per-query intermediate-size cap (bytes)")
+	flag.Int64Var(&cfg.WorkBudget, "work", cfg.WorkBudget, "per-update work budget inside engines")
+	flag.Int64Var(&cfg.Seed, "seed", cfg.Seed, "generator seed")
+	flag.BoolVar(&cfg.Scatter, "scatter", false, "print per-query scatter rows (fig6/fig7)")
+	csvDir := flag.String("csv", "", "also write per-experiment CSV files into this directory")
+	flag.Parse()
+	if *csvDir != "" {
+		cfg.CSV = harness.NewCSVSink(*csvDir)
+	}
+
+	if *list {
+		fmt.Println(strings.Join(harness.Experiments(), "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "turboflux-bench: -exp is required (try -list)")
+		os.Exit(2)
+	}
+	start := time.Now()
+	if err := harness.Run(*exp, cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "turboflux-bench:", err)
+		os.Exit(1)
+	}
+	if cfg.CSV != nil {
+		if err := cfg.CSV.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "turboflux-bench: writing csv:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "[csv written to %s]\n", *csvDir)
+	}
+	fmt.Fprintf(os.Stdout, "\n[%s completed in %s]\n", *exp, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,195 @@
+// Command turboflux runs continuous subgraph matching over stream files.
+//
+// It loads an initial graph and a query from text files, then replays an
+// update stream, printing each positive (+) and negative (-) match as it
+// is reported.
+//
+// Usage:
+//
+//	turboflux -graph g0.txt -query q.txt -stream updates.txt [-iso] [-quiet]
+//
+// File formats (see internal/stream): the graph and stream files hold one
+// record per line — "v <id> [<label>,...]" declares a vertex, "i <from>
+// <label> <to>" inserts an edge, "d <from> <label> <to>" deletes one. The
+// query file uses the same records, where vertex ids are query vertex ids
+// 0..n-1 (deletions are invalid in queries).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"turboflux"
+	"turboflux/internal/graph"
+	"turboflux/internal/stream"
+)
+
+func main() {
+	graphPath := flag.String("graph", "", "initial graph file (required)")
+	queryPath := flag.String("query", "", "query file (this or -pattern required)")
+	pattern := flag.String("pattern", "", "Cypher-like pattern, e.g. '(a:1)-[:0]->(b)' (labels are numeric names)")
+	streamPath := flag.String("stream", "", "update stream file (required)")
+	iso := flag.Bool("iso", false, "use subgraph isomorphism semantics")
+	quiet := flag.Bool("quiet", false, "suppress per-match output, print totals only")
+	initial := flag.Bool("initial", false, "also report matches of the initial graph")
+	explain := flag.Bool("explain", false, "print the execution plan before streaming")
+	flag.Parse()
+	if *graphPath == "" || (*queryPath == "" && *pattern == "") || *streamPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*graphPath, *queryPath, *pattern, *streamPath, *iso, *quiet, *initial, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "turboflux:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, queryPath, pattern, streamPath string, iso, quiet, initial, explain bool) error {
+	g0, err := loadGraph(graphPath)
+	if err != nil {
+		return fmt.Errorf("loading graph: %w", err)
+	}
+	var q *turboflux.Query
+	if pattern != "" {
+		// Pattern label names must be the numeric labels used in the data
+		// files; numericDict interns "12" as Label(12).
+		q, _, err = turboflux.ParseQuery(pattern, numericDict(), numericDict())
+		if err != nil {
+			return fmt.Errorf("parsing pattern: %w", err)
+		}
+	} else {
+		q, err = loadQuery(queryPath)
+		if err != nil {
+			return fmt.Errorf("loading query: %w", err)
+		}
+	}
+	ups, err := loadUpdates(streamPath)
+	if err != nil {
+		return fmt.Errorf("loading stream: %w", err)
+	}
+
+	opt := turboflux.Options{}
+	if iso {
+		opt.Semantics = turboflux.Isomorphism
+	}
+	if !quiet {
+		opt.OnMatch = printMatch
+	}
+	eng, err := turboflux.NewEngine(g0, q, opt)
+	if err != nil {
+		return err
+	}
+	if explain {
+		fmt.Println(eng.Explain())
+	}
+	if initial {
+		n := eng.InitialMatches()
+		fmt.Printf("# initial matches: %d\n", n)
+	}
+	if _, err := eng.ApplyAll(ups); err != nil {
+		return err
+	}
+	st := eng.Stats()
+	fmt.Printf("# stream: %d updates, %d positive, %d negative, DCG %d edges\n",
+		len(ups), st.PositiveMatches, st.NegativeMatches, st.DCGEdges)
+	return nil
+}
+
+func printMatch(positive bool, m []turboflux.VertexID) {
+	sign := byte('+')
+	if !positive {
+		sign = '-'
+	}
+	fmt.Printf("%c ", sign)
+	for u, v := range m {
+		if u > 0 {
+			fmt.Print(" ")
+		}
+		fmt.Printf("u%d=%d", u, v)
+	}
+	fmt.Println()
+}
+
+// loadGraph reads a graph file in either the text stream format or the
+// compact binary format (sniffed by the "TFG1" magic).
+func loadGraph(path string) (*turboflux.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	if magic, err := br.Peek(4); err == nil && string(magic) == "TFG1" {
+		return graph.ReadBinary(br)
+	}
+	ups, err := turboflux.DecodeStream(br)
+	if err != nil {
+		return nil, err
+	}
+	g := turboflux.NewGraph()
+	for _, u := range ups {
+		u.Apply(g)
+	}
+	return g, nil
+}
+
+func loadQuery(path string) (*turboflux.Query, error) {
+	ups, err := loadUpdates(path)
+	if err != nil {
+		return nil, err
+	}
+	maxV := turboflux.VertexID(0)
+	for _, u := range ups {
+		switch u.Op {
+		case stream.OpVertex:
+			if u.Vertex > maxV {
+				maxV = u.Vertex
+			}
+		case stream.OpInsert:
+			if u.Edge.From > maxV {
+				maxV = u.Edge.From
+			}
+			if u.Edge.To > maxV {
+				maxV = u.Edge.To
+			}
+		case stream.OpDelete:
+			return nil, fmt.Errorf("query file must not contain deletions")
+		}
+	}
+	q := turboflux.NewQuery(int(maxV) + 1)
+	for _, u := range ups {
+		switch u.Op {
+		case stream.OpVertex:
+			q.SetLabels(u.Vertex, u.Labels...)
+		case stream.OpInsert:
+			if err := q.AddEdge(u.Edge.From, u.Edge.Label, u.Edge.To); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+// numericDict interns decimal strings so that pattern label "12" resolves
+// to Label(12), matching the numeric labels of the data files.
+func numericDict() *turboflux.Dict {
+	d := turboflux.NewDict()
+	for i := 0; i < 256; i++ {
+		d.Intern(fmt.Sprintf("%d", i))
+	}
+	return d
+}
+
+func loadUpdates(path string) ([]turboflux.Update, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return turboflux.DecodeStream(f)
+}

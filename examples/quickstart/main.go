@@ -1,0 +1,72 @@
+// Quickstart: continuous subgraph matching in a dozen lines.
+//
+// The query is a two-hop pattern Person -owns-> Account -pays-> Account.
+// An initial graph holds one person with an account; streaming in a
+// payment edge completes the pattern (positive match), deleting it
+// retracts the match (negative match).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"turboflux"
+)
+
+func main() {
+	vocab, edges := turboflux.NewDict(), turboflux.NewDict()
+	person := vocab.Intern("Person")
+	account := vocab.Intern("Account")
+	owns := edges.Intern("owns")
+	pays := edges.Intern("pays")
+
+	// Initial graph g0: alice(1) owns account 10; account 20 exists.
+	g := turboflux.NewGraph()
+	g.EnsureVertex(1, person)
+	g.EnsureVertex(10, account)
+	g.EnsureVertex(20, account)
+	g.InsertEdge(1, owns, 10)
+
+	// Query: u0(Person) -owns-> u1(Account) -pays-> u2(Account).
+	q := turboflux.NewQuery(3)
+	q.SetLabels(0, person)
+	q.SetLabels(1, account)
+	q.SetLabels(2, account)
+	must(q.AddEdge(0, owns, 1))
+	must(q.AddEdge(1, pays, 2))
+
+	eng, err := turboflux.NewEngine(g, q, turboflux.Options{
+		OnMatch: func(positive bool, m []turboflux.VertexID) {
+			kind := "new match"
+			if !positive {
+				kind = "retracted"
+			}
+			fmt.Printf("%s: person=%d account=%d payee=%d\n", kind, m[0], m[1], m[2])
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("initial matches: %d\n", eng.InitialMatches())
+
+	// Stream: the payment completes the pattern, its deletion retracts it.
+	if _, err := eng.Insert(10, pays, 20); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.Delete(10, pays, 20); err != nil {
+		log.Fatal(err)
+	}
+
+	st := eng.Stats()
+	fmt.Printf("totals: %d positive, %d negative, DCG holds %d edges (%d bytes)\n",
+		st.PositiveMatches, st.NegativeMatches, st.DCGEdges, st.IntermediateBytes)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,464 @@
+// Package core implements the TurboFlux continuous subgraph matching
+// engine (Section 4 of the paper): the DCG construction and maintenance
+// algorithms (BuildDCG, InsertEdgeAndEval, DeleteEdgeAndEval and their
+// upward companions) and the SubgraphSearch procedure that reports
+// positive and negative matches.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"turboflux/internal/dcg"
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+	"turboflux/internal/stream"
+)
+
+// ErrWorkBudget reports that an update operation exceeded
+// Options.WorkBudget and was aborted.
+var ErrWorkBudget = errors.New("core: per-update work budget exceeded")
+
+// Semantics selects the matching semantics.
+type Semantics uint8
+
+const (
+	// Homomorphism is the paper's default: L(u) ⊆ L(m(u)) and every query
+	// edge maps to a data edge; the mapping need not be injective.
+	Homomorphism Semantics = iota
+	// Isomorphism additionally requires the vertex mapping to be injective.
+	Isomorphism
+)
+
+func (s Semantics) String() string {
+	if s == Isomorphism {
+		return "isomorphism"
+	}
+	return "homomorphism"
+}
+
+// MatchFunc receives one positive (inserted) or negative (deleted) match.
+// mapping[u] is the data vertex matched to query vertex u; the slice is
+// reused across calls and must be copied if retained.
+type MatchFunc func(positive bool, mapping []graph.VertexID)
+
+// Options configures an Engine.
+type Options struct {
+	// Semantics selects homomorphism (default) or isomorphism.
+	Semantics Semantics
+	// Search selects the candidate-enumeration strategy of SubgraphSearch:
+	// Backtracking (default, Algorithm 7) or WCOJoin (Section 4.3's
+	// worst-case-optimal variant over the DCG).
+	Search Strategy
+	// OnMatch, when non-nil, receives every reported match.
+	OnMatch MatchFunc
+	// StartVertex overrides ChooseStartQVertex when not graph.NoVertex.
+	StartVertex graph.VertexID
+	// DisableCheckAndAvoid re-traverses already-built DCG subtrees on every
+	// insertion (ablation of Section 3.1's check-and-avoid strategy). A
+	// per-operation visited set keeps the traversal terminating.
+	DisableCheckAndAvoid bool
+	// DisableOrderAdjust freezes the matching order computed at startup
+	// (ablation of AdjustMatchingOrder).
+	DisableOrderAdjust bool
+	// NaiveEL rebuilds the DCG from the declarative fixpoint after every
+	// update instead of applying selective transitions (ablation of the
+	// enhanced maintenance algorithms; match reporting still uses the
+	// selective search seeds).
+	NaiveEL bool
+	// WorkBudget caps the work units (search and maintenance steps) spent
+	// on a single update operation; when exceeded the operation aborts and
+	// InsertEdge/DeleteEdge return ErrWorkBudget. 0 means unlimited. Used
+	// by the benchmark harness to censor non-selective queries the way the
+	// paper's 2-hour timeout does; match reporting for an aborted
+	// operation is incomplete.
+	WorkBudget int64
+}
+
+// DefaultOptions returns the paper-default configuration.
+func DefaultOptions() Options {
+	return Options{StartVertex: graph.NoVertex}
+}
+
+// Engine is a TurboFlux continuous subgraph matching instance bound to one
+// data graph and one query. After New, the caller must route every data
+// graph mutation through InsertEdge/DeleteEdge/Apply so the DCG stays
+// consistent.
+type Engine struct {
+	g    *graph.Graph
+	q    *query.Graph
+	tree *query.Tree
+	d    *dcg.DCG
+	opt  Options
+
+	mo []graph.VertexID // matching order, mo[0] == tree.Root
+
+	// procRank[i] is the processing rank of query edge i: tree edges first
+	// (insertion builds their DCG branches in this order), then non-tree
+	// edges. Duplicate-result avoidance reports a solution only at its
+	// maximum-rank trigger on insertion (all branches built by then) and at
+	// its minimum-rank trigger on deletion (no state destroyed yet).
+	procRank []int
+
+	m    []graph.VertexID       // current mapping; graph.NoVertex = unmapped
+	used map[graph.VertexID]int // data-vertex use counts (isomorphism only)
+
+	updEdge   graph.Edge // the data edge of the update being processed
+	trigger   int        // query-edge index of the current trigger, -1 = none
+	positive  bool       // direction of the update being processed
+	opMatches int64      // matches reported during the current operation
+	opWork    int64      // work units consumed by the current operation
+	aborted   bool       // the current operation exceeded WorkBudget
+
+	// dedupChecks lists the query edges that could outrank the current
+	// trigger on the updated data edge, precomputed by setTrigger so the
+	// per-match duplicate check touches only them (usually none).
+	dedupChecks []graph.Edge
+
+	posTotal, negTotal int64
+
+	// Matching-order drift detection: explicit counts per label at the time
+	// the order was computed.
+	orderStats []int64
+
+	// visited guards subtree re-traversal when check-and-avoid is disabled.
+	visited map[dcg.EdgeKey]bool
+}
+
+// New builds a TurboFlux engine over data graph g (the initial graph g0)
+// and query q: it chooses the starting query vertex, transforms q into a
+// query tree, constructs the initial DCG and computes the matching order
+// (Algorithm 2, Lines 1–6). g must not be mutated directly afterwards.
+func New(g *graph.Graph, q *query.Graph, opt Options) (*Engine, error) {
+	if g == nil || q == nil {
+		return nil, errors.New("core: nil graph or query")
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	us := opt.StartVertex
+	if us == graph.NoVertex {
+		us = query.ChooseStartQVertex(q, g)
+	} else if int(us) >= q.NumVertices() {
+		return nil, fmt.Errorf("core: start vertex %d out of range", us)
+	}
+	tree, err := query.TransformToTree(q, us, g)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		g:        g,
+		q:        q,
+		tree:     tree,
+		d:        dcg.New(tree),
+		opt:      opt,
+		m:        make([]graph.VertexID, q.NumVertices()),
+		procRank: make([]int, q.NumEdges()),
+		trigger:  -1,
+	}
+	for i := range e.m {
+		e.m[i] = graph.NoVertex
+	}
+	if opt.Semantics == Isomorphism {
+		e.used = make(map[graph.VertexID]int)
+	}
+	rank := 0
+	for u := 0; u < q.NumVertices(); u++ {
+		if graph.VertexID(u) == tree.Root {
+			continue
+		}
+		e.procRank[tree.ParentEdge[u].Index] = rank
+		rank++
+	}
+	for _, nt := range tree.NonTree {
+		e.procRank[nt] = rank
+		rank++
+	}
+
+	// Build the initial DCG: a hypothetical edge (v*_s, v_s) insertion for
+	// every v_s with L(u_s) ⊆ L(v_s) (Algorithm 2, Lines 4–5).
+	e.forEachStartCandidate(func(vs graph.VertexID) {
+		e.buildDCG(us, graph.NoVertex, vs)
+	})
+	if e.aborted {
+		return nil, ErrWorkBudget
+	}
+	e.computeMatchingOrder()
+	return e, nil
+}
+
+// NotifyVertexAdded performs root-candidate bookkeeping for a vertex that
+// was just added to the (possibly shared) data graph: a vertex matching
+// L(u_s) receives its hypothetical (v*_s, v_s) edge.
+func (e *Engine) NotifyVertexAdded(v graph.VertexID) {
+	if e.g.HasAllLabels(v, e.q.Labels(e.tree.Root)) {
+		e.buildDCG(e.tree.Root, graph.NoVertex, v)
+	}
+}
+
+// charge consumes one work unit of the current operation's budget and
+// reports whether processing may continue.
+func (e *Engine) charge() bool {
+	if e.aborted {
+		return false
+	}
+	if e.opt.WorkBudget <= 0 {
+		return true
+	}
+	e.opWork++
+	if e.opWork > e.opt.WorkBudget {
+		e.aborted = true
+		return false
+	}
+	return true
+}
+
+// forEachStartCandidate calls fn for every data vertex matching L(u_s).
+func (e *Engine) forEachStartCandidate(fn func(graph.VertexID)) {
+	rootLabels := e.q.Labels(e.tree.Root)
+	if len(rootLabels) == 0 {
+		e.g.ForEachVertex(fn)
+		return
+	}
+	for _, v := range e.g.VerticesWithLabel(rootLabels[0]) {
+		if e.g.HasAllLabels(v, rootLabels) {
+			fn(v)
+		}
+	}
+}
+
+// Graph returns the engine's data graph. Callers must not mutate it.
+func (e *Engine) Graph() *graph.Graph { return e.g }
+
+// Query returns the engine's query graph.
+func (e *Engine) Query() *query.Graph { return e.q }
+
+// Tree returns the query tree q'.
+func (e *Engine) Tree() *query.Tree { return e.tree }
+
+// DCG returns the engine's data-centric graph. Callers must not mutate it.
+func (e *Engine) DCG() *dcg.DCG { return e.d }
+
+// MatchingOrder returns the current matching order. Must not be mutated.
+func (e *Engine) MatchingOrder() []graph.VertexID { return e.mo }
+
+// PositiveCount returns the total positive matches reported so far
+// (excluding InitialMatches).
+func (e *Engine) PositiveCount() int64 { return e.posTotal }
+
+// NegativeCount returns the total negative matches reported so far.
+func (e *Engine) NegativeCount() int64 { return e.negTotal }
+
+// IntermediateSizeBytes returns the accounting size of the maintained
+// intermediate results (the DCG).
+func (e *Engine) IntermediateSizeBytes() int64 { return e.d.SizeBytes() }
+
+// InitialMatches reports every complete solution in the initial data graph
+// (Algorithm 2, Lines 7–11) through OnMatch and returns their number.
+// These are not counted in PositiveCount.
+func (e *Engine) InitialMatches() int64 {
+	var n int64
+	e.clearTrigger()
+	e.positive = true
+	us := e.tree.Root
+	for _, vs := range e.d.RootCandidates(true) {
+		e.mapVertex(us, vs)
+		before := e.opMatches
+		e.subgraphSearch(0)
+		n += e.opMatches - before
+		e.unmapVertex(us)
+	}
+	// Initial matches are reported but not accumulated into the stream
+	// totals, matching the paper's cost model which separates g0 from Δg.
+	e.posTotal -= n
+	e.opMatches = 0
+	return n
+}
+
+// InsertEdge applies the edge-insertion operation (v, l, v2): it inserts
+// the edge into the data graph, updates the DCG and reports every positive
+// match (Algorithm 2, Lines 14–16). It returns the number of positive
+// matches for this operation. Inserting a duplicate edge is a no-op.
+func (e *Engine) InsertEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) (int64, error) {
+	if !e.g.InsertEdge(v, l, v2) {
+		return 0, nil
+	}
+	return e.EvalInsertedEdge(v, l, v2)
+}
+
+// EvalInsertedEdge updates the DCG and reports positive matches for an
+// edge insertion that a coordinator has ALREADY applied to the shared data
+// graph. Used by multi-query front ends, where one graph mutation fans out
+// to several engines; single-query callers use InsertEdge.
+func (e *Engine) EvalInsertedEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) (int64, error) {
+	e.beginOp(graph.Edge{From: v, Label: l, To: v2}, true)
+	e.insertEdgeAndEval(v, l, v2)
+	if e.opt.NaiveEL {
+		e.rebuildFromSpec()
+	}
+	e.maybeAdjustOrder()
+	n := e.endOp()
+	if e.aborted {
+		return n, ErrWorkBudget
+	}
+	return n, nil
+}
+
+// DeleteEdge applies the edge-deletion operation (v, l, v2): it reports
+// every negative match, updates the DCG and then removes the edge from the
+// data graph (Algorithm 2, Lines 17–19 — evaluation strictly precedes the
+// graph mutation). It returns the number of negative matches. Deleting an
+// absent edge is a no-op.
+func (e *Engine) DeleteEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) (int64, error) {
+	if !e.g.HasEdge(v, l, v2) {
+		return 0, nil
+	}
+	n, err := e.EvalBeforeDelete(v, l, v2)
+	e.g.DeleteEdge(v, l, v2)
+	if e.opt.NaiveEL {
+		// The fixpoint must be computed on the post-delete graph.
+		e.rebuildFromSpec()
+	}
+	return n, err
+}
+
+// EvalBeforeDelete updates the DCG and reports negative matches for an
+// edge deletion; the edge must still be present in the shared data graph
+// and the coordinator must remove it only after every engine has
+// evaluated (the operation-order requirement of Algorithm 2). The NaiveEL
+// ablation is not supported through this entry point.
+func (e *Engine) EvalBeforeDelete(v graph.VertexID, l graph.Label, v2 graph.VertexID) (int64, error) {
+	e.beginOp(graph.Edge{From: v, Label: l, To: v2}, false)
+	e.deleteEdgeAndEval(v, l, v2)
+	e.maybeAdjustOrder()
+	n := e.endOp()
+	if e.aborted {
+		return n, ErrWorkBudget
+	}
+	return n, nil
+}
+
+// Apply applies one stream update and returns the number of matches it
+// produced. Vertex declarations create the vertex (and, when it matches
+// L(u_s), its root DCG edge) and produce no matches.
+func (e *Engine) Apply(u stream.Update) (int64, error) {
+	switch u.Op {
+	case stream.OpInsert:
+		return e.InsertEdge(u.Edge.From, u.Edge.Label, u.Edge.To)
+	case stream.OpDelete:
+		return e.DeleteEdge(u.Edge.From, u.Edge.Label, u.Edge.To)
+	case stream.OpVertex:
+		if !e.g.HasVertex(u.Vertex) {
+			e.g.EnsureVertex(u.Vertex, u.Labels...)
+			e.NotifyVertexAdded(u.Vertex)
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("core: unknown update op %d", u.Op)
+	}
+}
+
+func (e *Engine) beginOp(ed graph.Edge, positive bool) {
+	e.updEdge = ed
+	e.positive = positive
+	e.opMatches = 0
+	e.opWork = 0
+	e.aborted = false
+	e.clearTrigger()
+	if e.opt.DisableCheckAndAvoid {
+		e.visited = make(map[dcg.EdgeKey]bool)
+	}
+}
+
+func (e *Engine) endOp() int64 {
+	n := e.opMatches
+	e.opMatches = 0
+	e.clearTrigger()
+	return n
+}
+
+// mapVertex binds query vertex u to data vertex v in the working mapping.
+func (e *Engine) mapVertex(u, v graph.VertexID) {
+	e.m[u] = v
+	if e.used != nil {
+		e.used[v]++
+	}
+}
+
+// unmapVertex clears the binding of u.
+func (e *Engine) unmapVertex(u graph.VertexID) {
+	v := e.m[u]
+	e.m[u] = graph.NoVertex
+	if e.used != nil && v != graph.NoVertex {
+		if e.used[v] <= 1 {
+			delete(e.used, v)
+		} else {
+			e.used[v]--
+		}
+	}
+}
+
+// usable reports whether data vertex v may be bound to one more query
+// vertex under the configured semantics.
+func (e *Engine) usable(v graph.VertexID) bool {
+	return e.used == nil || e.used[v] == 0
+}
+
+// edgeMatchesTreeSlot reports whether data edge (v, l, v2) matches the tree
+// edge of child query vertex u in the direction parent-at-v: i.e. the
+// oriented data edge from the parent side v to the child side v2 carries
+// the right label, direction and endpoint label constraints.
+func (e *Engine) edgeMatchesTreeSlot(u graph.VertexID, v, v2 graph.VertexID, l graph.Label, forwardFromParent bool) bool {
+	te := e.tree.ParentEdge[u]
+	if te.Label != l || te.Forward != forwardFromParent {
+		return false
+	}
+	return e.g.HasAllLabels(v, e.q.Labels(te.Parent)) && e.g.HasAllLabels(v2, e.q.Labels(u))
+}
+
+// setTrigger records the query edge owning the current evaluation and
+// precomputes the duplicate-avoidance checks: the query edges with the
+// same label that outrank the trigger (higher processing rank for
+// insertions, lower for deletions) and could therefore own a solution
+// that also maps them onto the updated data edge.
+func (e *Engine) setTrigger(i int) {
+	e.trigger = i
+	e.dedupChecks = e.dedupChecks[:0]
+	tr := e.procRank[i]
+	for j, qe := range e.q.Edges() {
+		if j == i || qe.Label != e.updEdge.Label {
+			continue
+		}
+		r := e.procRank[j]
+		if (e.positive && r > tr) || (!e.positive && r < tr) {
+			e.dedupChecks = append(e.dedupChecks, qe)
+		}
+	}
+}
+
+func (e *Engine) clearTrigger() {
+	e.trigger = -1
+	e.dedupChecks = e.dedupChecks[:0]
+}
+
+// report emits the current complete mapping if it survives duplicate
+// avoidance (Section 3.3 of DESIGN.md): with a trigger edge set, the
+// solution is reported only when the trigger is the maximum-rank
+// (insertion) or minimum-rank (deletion) query edge among those the
+// solution maps onto the updated data edge.
+func (e *Engine) report() {
+	for _, qe := range e.dedupChecks {
+		if e.m[qe.From] == e.updEdge.From && e.m[qe.To] == e.updEdge.To {
+			return // an outranking trigger owns this solution
+		}
+	}
+	e.opMatches++
+	if e.positive {
+		e.posTotal++
+	} else {
+		e.negTotal++
+	}
+	if e.opt.OnMatch != nil {
+		e.opt.OnMatch(e.positive, e.m)
+	}
+}

@@ -1,0 +1,371 @@
+package core
+
+import (
+	"testing"
+
+	"turboflux/internal/dcg"
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+	"turboflux/internal/stream"
+)
+
+// Vertex labels.
+const (
+	lA graph.Label = iota
+	lB
+	lC
+	lD
+)
+
+// Edge labels.
+const (
+	e1 graph.Label = iota
+	e2
+	e3
+	e4
+)
+
+// figure1Query is the miniature of the paper's Figure 1 query:
+// u0(A) -e1-> u1(B); u1 -e2-> u2(C); u1 -e3-> u3(C); u3 -e4-> u4(D).
+func figure1Query(t *testing.T) *query.Graph {
+	t.Helper()
+	q := query.NewGraph(5)
+	q.SetLabels(0, lA)
+	q.SetLabels(1, lB)
+	q.SetLabels(2, lC)
+	q.SetLabels(3, lC)
+	q.SetLabels(4, lD)
+	for _, e := range []graph.Edge{
+		{From: 0, Label: e1, To: 1},
+		{From: 1, Label: e2, To: 2},
+		{From: 1, Label: e3, To: 3},
+		{From: 3, Label: e4, To: 4},
+	} {
+		if err := q.AddEdge(e.From, e.Label, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return q
+}
+
+// figure1Data: v0(A) -e1-> v2(B); v2 -e2-> {v4,v5}(C); v2 -e3-> v104(C).
+// The u3 branch is incomplete until (v104, e4, v414) arrives.
+func figure1Data(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New()
+	for _, v := range []struct {
+		id graph.VertexID
+		l  graph.Label
+	}{{0, lA}, {2, lB}, {4, lC}, {5, lC}, {104, lC}, {414, lD}} {
+		if err := g.AddVertex(v.id, v.l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.InsertEdge(0, e1, 2)
+	g.InsertEdge(2, e2, 4)
+	g.InsertEdge(2, e2, 5)
+	g.InsertEdge(2, e3, 104)
+	return g
+}
+
+type collector struct {
+	pos []string
+	neg []string
+}
+
+func (c *collector) fn(positive bool, m []graph.VertexID) {
+	k := mapKey(m)
+	if positive {
+		c.pos = append(c.pos, k)
+	} else {
+		c.neg = append(c.neg, k)
+	}
+}
+
+func mapKey(m []graph.VertexID) string {
+	b := make([]byte, 0, len(m)*4)
+	for i, v := range m {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendUint(b, uint64(v))
+	}
+	return string(b)
+}
+
+func appendUint(b []byte, n uint64) []byte {
+	if n >= 10 {
+		b = appendUint(b, n/10)
+	}
+	return append(b, byte('0'+n%10))
+}
+
+func newFig1Engine(t *testing.T, c *collector) *Engine {
+	t.Helper()
+	opt := DefaultOptions()
+	opt.StartVertex = 0 // force u0 as the start vertex like the paper
+	if c != nil {
+		opt.OnMatch = c.fn
+	}
+	e, err := New(figure1Data(t), figure1Query(t), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestInitialDCGStates(t *testing.T) {
+	e := newFig1Engine(t, nil)
+	d := e.DCG()
+	cases := []struct {
+		from, qv, to graph.VertexID
+		want         dcg.State
+	}{
+		{graph.NoVertex, 0, 0, dcg.Implicit}, // root edge: u3 branch incomplete
+		{0, 1, 2, dcg.Implicit},
+		{2, 2, 4, dcg.Explicit},
+		{2, 2, 5, dcg.Explicit},
+		{2, 3, 104, dcg.Implicit},
+	}
+	for _, c := range cases {
+		if got := d.GetState(c.from, c.qv, c.to); got != c.want {
+			t.Errorf("state(%d,u%d,%d) = %v, want %v", c.from, c.qv, c.to, got, c.want)
+		}
+	}
+	if d.NumEdges() != 5 {
+		t.Fatalf("DCG has %d edges, want 5", d.NumEdges())
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n := e.InitialMatches(); n != 0 {
+		t.Fatalf("initial matches = %d, want 0 (u3 branch incomplete)", n)
+	}
+}
+
+func TestInsertCompletesBranch(t *testing.T) {
+	var c collector
+	e := newFig1Engine(t, &c)
+	n, err := e.InsertEdge(104, e4, 414)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Solutions: u2 can map to v4 or v5 -> 2 positive matches.
+	if n != 2 {
+		t.Fatalf("positive matches = %d, want 2", n)
+	}
+	if len(c.pos) != 2 || len(c.neg) != 0 {
+		t.Fatalf("collector: pos=%v neg=%v", c.pos, c.neg)
+	}
+	// All DCG edges must now be explicit (Figure 4h analogue).
+	d := e.DCG()
+	for k, s := range d.Snapshot() {
+		if s != dcg.Explicit {
+			t.Errorf("edge %v = %v, want E", k, s)
+		}
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if e.PositiveCount() != 2 {
+		t.Fatalf("PositiveCount = %d", e.PositiveCount())
+	}
+}
+
+func TestInsertNoMatchCheapPath(t *testing.T) {
+	var c collector
+	e := newFig1Engine(t, &c)
+	// An edge whose label matches nothing in the query: Transition 0 Case 1.
+	if n, err := e.InsertEdge(4, 9, 5); err != nil || n != 0 {
+		t.Fatalf("irrelevant insert: n=%d err=%v", n, err)
+	}
+	// An edge matching (u1,u2) but whose parent side is not a candidate:
+	// Transition 0 Case 2 (vertex 5 has no incoming u1 edge).
+	g := e.Graph()
+	_ = g // engine owns g; use Apply path below
+	if n, err := e.InsertEdge(5, e2, 4); err != nil || n != 0 {
+		t.Fatalf("non-candidate insert: n=%d err=%v", n, err)
+	}
+	if len(c.pos)+len(c.neg) != 0 {
+		t.Fatal("no matches expected")
+	}
+	// Duplicate insert is a no-op.
+	if n, err := e.InsertEdge(2, e2, 4); err != nil || n != 0 {
+		t.Fatalf("duplicate insert: n=%d err=%v", n, err)
+	}
+}
+
+func TestDeleteReportsNegatives(t *testing.T) {
+	var c collector
+	e := newFig1Engine(t, &c)
+	if _, err := e.InsertEdge(104, e4, 414); err != nil {
+		t.Fatal(err)
+	}
+	c.pos = nil
+	n, err := e.DeleteEdge(104, e4, 414)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("negative matches = %d, want 2", n)
+	}
+	if len(c.neg) != 2 {
+		t.Fatalf("collector neg = %v", c.neg)
+	}
+	if e.NegativeCount() != 2 {
+		t.Fatalf("NegativeCount = %d", e.NegativeCount())
+	}
+	// DCG must be back to the initial (implicit u3-branch) configuration.
+	d := e.DCG()
+	if d.GetState(2, 3, 104) != dcg.Implicit {
+		t.Fatalf("(v2,u3,v104) = %v, want I", d.GetState(2, 3, 104))
+	}
+	if d.GetState(graph.NoVertex, 0, 0) != dcg.Implicit {
+		t.Fatal("root edge must be implicit again")
+	}
+	if d.GetState(0, 1, 2) != dcg.Implicit {
+		t.Fatal("(v0,u1,v2) must be implicit again")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting an absent edge is a no-op.
+	if n, err := e.DeleteEdge(104, e4, 414); err != nil || n != 0 {
+		t.Fatalf("double delete: n=%d err=%v", n, err)
+	}
+}
+
+func TestDeleteCascadesOrphans(t *testing.T) {
+	var c collector
+	e := newFig1Engine(t, &c)
+	if _, err := e.InsertEdge(104, e4, 414); err != nil {
+		t.Fatal(err)
+	}
+	// Deleting (v0, e1, v2) orphans the whole subtree below v2.
+	n, err := e.DeleteEdge(0, e1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("negatives on root-edge delete = %d, want 2", n)
+	}
+	d := e.DCG()
+	// Only the root edge (v*, u0, v0) should remain.
+	if d.NumEdges() != 1 {
+		t.Fatalf("DCG edges after cascade = %d, want 1 (snapshot %v)", d.NumEdges(), d.Snapshot())
+	}
+	if d.GetState(graph.NoVertex, 0, 0) != dcg.Implicit {
+		t.Fatal("remaining root edge must be implicit")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialMatchesReported(t *testing.T) {
+	g := figure1Data(t)
+	if err := g.AddVertex(415, lD); err != nil {
+		t.Fatal(err)
+	}
+	g.InsertEdge(104, e4, 415)
+	var c collector
+	opt := DefaultOptions()
+	opt.StartVertex = 0
+	opt.OnMatch = c.fn
+	e, err := New(g, figure1Query(t), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := e.InitialMatches(); n != 2 {
+		t.Fatalf("initial matches = %d, want 2", n)
+	}
+	if e.PositiveCount() != 0 {
+		t.Fatal("initial matches must not count into PositiveCount")
+	}
+	if len(c.pos) != 2 {
+		t.Fatalf("collector pos = %v", c.pos)
+	}
+}
+
+func TestApplyStream(t *testing.T) {
+	e := newFig1Engine(t, nil)
+	if n, err := e.Apply(stream.Insert(104, e4, 414)); err != nil || n != 2 {
+		t.Fatalf("Apply insert: n=%d err=%v", n, err)
+	}
+	if n, err := e.Apply(stream.Delete(104, e4, 414)); err != nil || n != 2 {
+		t.Fatalf("Apply delete: n=%d err=%v", n, err)
+	}
+	// Vertex declaration then edges through it.
+	if n, err := e.Apply(stream.DeclareVertex(700, lD)); err != nil || n != 0 {
+		t.Fatalf("Apply vertex: n=%d err=%v", n, err)
+	}
+	if n, err := e.Apply(stream.Insert(104, e4, 700)); err != nil || n != 2 {
+		t.Fatalf("Apply insert to declared vertex: n=%d err=%v", n, err)
+	}
+	if _, err := e.Apply(stream.Update{Op: 99}); err == nil {
+		t.Fatal("unknown op must error")
+	}
+}
+
+func TestNewVertexBecomesStartCandidate(t *testing.T) {
+	// Start with a graph missing the A-vertex entirely; stream it in.
+	g := graph.New()
+	_ = g.AddVertex(2, lB)
+	_ = g.AddVertex(4, lC)
+	_ = g.AddVertex(104, lC)
+	_ = g.AddVertex(414, lD)
+	g.InsertEdge(2, e2, 4)
+	g.InsertEdge(2, e3, 104)
+	g.InsertEdge(104, e4, 414)
+	var c collector
+	opt := DefaultOptions()
+	opt.StartVertex = 0
+	opt.OnMatch = c.fn
+	e, err := New(g, figure1Query(t), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.InitialMatches() != 0 {
+		t.Fatal("no initial matches expected")
+	}
+	if _, err := e.Apply(stream.DeclareVertex(0, lA)); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.InsertEdge(0, e1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("matches after A-vertex wired in = %d, want 1", n)
+	}
+}
+
+func TestEngineErrors(t *testing.T) {
+	g := graph.New()
+	if _, err := New(nil, nil, DefaultOptions()); err == nil {
+		t.Fatal("nil inputs must error")
+	}
+	q := query.NewGraph(2)
+	if _, err := New(g, q, DefaultOptions()); err == nil {
+		t.Fatal("invalid query must error")
+	}
+	_ = q.AddEdge(0, 0, 1)
+	opt := DefaultOptions()
+	opt.StartVertex = 9
+	if _, err := New(g, q, opt); err == nil {
+		t.Fatal("out-of-range start vertex must error")
+	}
+}
+
+func TestMatchingOrderValid(t *testing.T) {
+	e := newFig1Engine(t, nil)
+	if !query.ValidOrder(e.Tree(), e.MatchingOrder()) {
+		t.Fatalf("matching order %v invalid", e.MatchingOrder())
+	}
+	if e.IntermediateSizeBytes() != int64(e.DCG().NumEdges())*dcg.EdgeBytes {
+		t.Fatal("size accounting mismatch")
+	}
+	if e.Query() == nil || e.Graph() == nil {
+		t.Fatal("accessors broken")
+	}
+}

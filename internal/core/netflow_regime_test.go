@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"turboflux/internal/dcg"
+	"turboflux/internal/graph"
+	"turboflux/internal/naive"
+	"turboflux/internal/query"
+	"turboflux/internal/stream"
+)
+
+// randUnlabeledQuery builds a connected query with no vertex labels and
+// few edge labels — the label-poor Netflow regime, which exercises the
+// fully-unconstrained root path (every data vertex is a start candidate).
+func randUnlabeledQuery(rng *rand.Rand, n, extra, eLabels int) *query.Graph {
+	q := query.NewGraph(n)
+	for u := 1; u < n; u++ {
+		p := graph.VertexID(rng.Intn(u))
+		l := graph.Label(rng.Intn(eLabels))
+		if rng.Intn(2) == 0 {
+			_ = q.AddEdge(p, l, graph.VertexID(u))
+		} else {
+			_ = q.AddEdge(graph.VertexID(u), l, p)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		_ = q.AddEdge(graph.VertexID(rng.Intn(n)), graph.Label(rng.Intn(eLabels)), graph.VertexID(rng.Intn(n)))
+	}
+	return q
+}
+
+// TestDifferentialUnlabeled is the Netflow-regime analogue of the main
+// differential suite: unlabeled vertices, two edge labels, mixed streams,
+// hub-heavy topology (small vertex universe forces reconvergent paths).
+func TestDifferentialUnlabeled(t *testing.T) {
+	for seed := int64(500); seed < 515; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		injective := seed%2 == 0
+		q := randUnlabeledQuery(rng, 3+rng.Intn(2), rng.Intn(2), 2)
+		const nv = 6 // tiny universe: lots of hubs and cycles
+		g0 := graph.New()
+		for v := 0; v < nv; v++ {
+			_ = g0.AddVertex(graph.VertexID(v))
+		}
+		for i := 0; i < 8; i++ {
+			g0.InsertEdge(graph.VertexID(rng.Intn(nv)), graph.Label(rng.Intn(2)), graph.VertexID(rng.Intn(nv)))
+		}
+		pos := map[string]bool{}
+		neg := map[string]bool{}
+		sem := Homomorphism
+		if injective {
+			sem = Isomorphism
+		}
+		opt := DefaultOptions()
+		opt.Semantics = sem
+		opt.OnMatch = func(positive bool, m []graph.VertexID) {
+			k := mapKey(m)
+			set := pos
+			if !positive {
+				set = neg
+			}
+			if set[k] {
+				t.Fatalf("seed %d: duplicate match %s", seed, k)
+			}
+			set[k] = true
+		}
+		eng, err := New(g0.Clone(), q, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := naive.New(g0.Clone(), q, injective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[graph.Edge]bool{}
+		g0.ForEachEdge(func(e graph.Edge) { live[e] = true })
+		for step := 0; step < 50; step++ {
+			var up stream.Update
+			if len(live) > 2 && rng.Intn(3) == 0 {
+				es := make([]graph.Edge, 0, len(live))
+				for e := range live {
+					es = append(es, e)
+				}
+				sort.Slice(es, func(i, j int) bool {
+					if es[i].From != es[j].From {
+						return es[i].From < es[j].From
+					}
+					if es[i].Label != es[j].Label {
+						return es[i].Label < es[j].Label
+					}
+					return es[i].To < es[j].To
+				})
+				e := es[rng.Intn(len(es))]
+				up = stream.Delete(e.From, e.Label, e.To)
+				delete(live, e)
+			} else {
+				e := graph.Edge{
+					From:  graph.VertexID(rng.Intn(nv)),
+					Label: graph.Label(rng.Intn(2)),
+					To:    graph.VertexID(rng.Intn(nv)),
+				}
+				up = stream.Insert(e.From, e.Label, e.To)
+				live[e] = true
+			}
+			pos, neg = map[string]bool{}, map[string]bool{}
+			if _, err := eng.Apply(up); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			oPos, oNeg, err := oracle.Apply(up)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := sortedSet(pos), sortedSet(oPos); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d step %d (%v %v): positives\n got %v\nwant %v\nquery %v",
+					seed, step, up.Op, up.Edge, got, want, q)
+			}
+			if got, want := sortedSet(neg), sortedSet(oNeg); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d step %d (%v %v): negatives\n got %v\nwant %v\nquery %v",
+					seed, step, up.Op, up.Edge, got, want, q)
+			}
+			spec := dcg.ComputeSpec(eng.Graph(), eng.Tree())
+			snap := eng.DCG().Snapshot()
+			if len(spec) != len(snap) {
+				t.Fatalf("seed %d step %d: DCG %d edges vs spec %d", seed, step, len(snap), len(spec))
+			}
+			for k, s := range spec {
+				if snap[k] != s {
+					t.Fatalf("seed %d step %d: DCG[%v]=%v, spec=%v", seed, step, k, snap[k], s)
+				}
+			}
+			if err := eng.DCG().Validate(); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+		}
+	}
+}
+
+func sortedSet(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

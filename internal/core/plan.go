@@ -1,0 +1,87 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+)
+
+// Plan describes the engine's compiled execution strategy: the chosen
+// starting query vertex, the query-tree decomposition, the non-tree edges
+// checked during search, the current matching order and the DCG statistics
+// that drive it. It is a diagnostic snapshot; mutating it has no effect.
+type Plan struct {
+	Semantics      Semantics
+	StartVertex    graph.VertexID
+	TreeEdges      []query.TreeEdge
+	NonTreeEdges   []graph.Edge
+	MatchingOrder  []graph.VertexID
+	ExplicitCounts []int64 // explicit DCG edges per query-vertex label
+	DCGEdges       int
+	DCGExplicit    int
+}
+
+// Plan returns the engine's current execution plan.
+func (e *Engine) Plan() Plan {
+	p := Plan{
+		Semantics:     e.opt.Semantics,
+		StartVertex:   e.tree.Root,
+		MatchingOrder: append([]graph.VertexID(nil), e.mo...),
+		DCGEdges:      e.d.NumEdges(),
+		DCGExplicit:   e.d.NumExplicit(),
+	}
+	for u := 0; u < e.q.NumVertices(); u++ {
+		uv := graph.VertexID(u)
+		if uv != e.tree.Root {
+			p.TreeEdges = append(p.TreeEdges, e.tree.ParentEdge[uv])
+		}
+		p.ExplicitCounts = append(p.ExplicitCounts, e.d.ExplicitCount(uv))
+	}
+	sort.Slice(p.TreeEdges, func(i, j int) bool {
+		return p.TreeEdges[i].Child < p.TreeEdges[j].Child
+	})
+	for _, nt := range e.tree.NonTree {
+		p.NonTreeEdges = append(p.NonTreeEdges, e.q.Edge(nt))
+	}
+	return p
+}
+
+// String renders the plan in a compact human-readable block:
+//
+//	semantics:      homomorphism
+//	start vertex:   u0
+//	query tree:     u1 <-creatorOf- u0 ...
+//	non-tree edges: u3 -likes-> u2
+//	matching order: u0 u1 u3 u2
+//	dcg:            1234 edges (910 explicit)
+func (p Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "semantics:      %s\n", p.Semantics)
+	fmt.Fprintf(&sb, "start vertex:   u%d\n", p.StartVertex)
+	sb.WriteString("query tree:    ")
+	for _, te := range p.TreeEdges {
+		if te.Forward {
+			fmt.Fprintf(&sb, " u%d -(%d)-> u%d", te.Parent, te.Label, te.Child)
+		} else {
+			fmt.Fprintf(&sb, " u%d <-(%d)- u%d", te.Parent, te.Label, te.Child)
+		}
+	}
+	sb.WriteByte('\n')
+	if len(p.NonTreeEdges) > 0 {
+		sb.WriteString("non-tree edges:")
+		for _, e := range p.NonTreeEdges {
+			fmt.Fprintf(&sb, " u%d -(%d)-> u%d", e.From, e.Label, e.To)
+		}
+		sb.WriteByte('\n')
+	}
+	sb.WriteString("matching order:")
+	for _, u := range p.MatchingOrder {
+		fmt.Fprintf(&sb, " u%d(%d)", u, p.ExplicitCounts[u])
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "dcg:            %d edges (%d explicit)", p.DCGEdges, p.DCGExplicit)
+	return sb.String()
+}

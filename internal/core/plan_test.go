@@ -1,0 +1,73 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+)
+
+func TestPlanSnapshot(t *testing.T) {
+	e := newFig1Engine(t, nil)
+	p := e.Plan()
+	if p.StartVertex != 0 {
+		t.Fatalf("start = u%d", p.StartVertex)
+	}
+	if len(p.TreeEdges) != 4 {
+		t.Fatalf("tree edges = %d, want 4", len(p.TreeEdges))
+	}
+	if len(p.NonTreeEdges) != 0 {
+		t.Fatalf("non-tree = %v", p.NonTreeEdges)
+	}
+	if len(p.MatchingOrder) != 5 || p.MatchingOrder[0] != 0 {
+		t.Fatalf("order = %v", p.MatchingOrder)
+	}
+	if p.DCGEdges != e.DCG().NumEdges() {
+		t.Fatal("DCG edge count mismatch")
+	}
+	// Explicit counts: u2 has 2 explicit edges (v4, v5), others 0.
+	if p.ExplicitCounts[2] != 2 {
+		t.Fatalf("explicit counts = %v", p.ExplicitCounts)
+	}
+	s := p.String()
+	for _, want := range []string{"homomorphism", "start vertex:   u0", "matching order:", "dcg:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Plan.String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestPlanWithNonTreeEdges(t *testing.T) {
+	q := query.NewGraph(3)
+	_ = q.AddEdge(0, 0, 1)
+	_ = q.AddEdge(1, 1, 2)
+	_ = q.AddEdge(0, 2, 2) // closes a cycle
+	g := graph.New()
+	g.InsertEdge(1, 0, 2)
+	opt := DefaultOptions()
+	opt.Semantics = Isomorphism
+	e, err := New(g, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Plan()
+	if len(p.NonTreeEdges) != 1 {
+		t.Fatalf("non-tree = %v", p.NonTreeEdges)
+	}
+	s := p.String()
+	if !strings.Contains(s, "non-tree edges:") || !strings.Contains(s, "isomorphism") {
+		t.Fatalf("Plan.String:\n%s", s)
+	}
+	// The plan reflects matching-order adjustment after updates.
+	before := e.Plan().MatchingOrder
+	for i := graph.VertexID(0); i < 200; i++ {
+		if _, err := e.InsertEdge(100+i, 1, 300+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = before // order may or may not change; the call must stay valid
+	if !query.ValidOrder(e.Tree(), e.Plan().MatchingOrder) {
+		t.Fatal("adjusted order invalid")
+	}
+}

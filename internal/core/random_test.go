@@ -1,0 +1,219 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"turboflux/internal/dcg"
+	"turboflux/internal/graph"
+	"turboflux/internal/naive"
+	"turboflux/internal/query"
+	"turboflux/internal/stream"
+)
+
+// randQuery generates a small connected query: a random tree over n
+// vertices plus up to extra non-tree edges, with random (possibly empty)
+// vertex label constraints.
+func randQuery(rng *rand.Rand, n, extra, vLabels, eLabels int) *query.Graph {
+	q := query.NewGraph(n)
+	for u := 0; u < n; u++ {
+		if rng.Intn(3) > 0 { // 2/3 of vertices constrained
+			q.SetLabels(graph.VertexID(u), graph.Label(rng.Intn(vLabels)))
+		}
+	}
+	for u := 1; u < n; u++ {
+		p := graph.VertexID(rng.Intn(u))
+		l := graph.Label(rng.Intn(eLabels))
+		if rng.Intn(2) == 0 {
+			_ = q.AddEdge(p, l, graph.VertexID(u))
+		} else {
+			_ = q.AddEdge(graph.VertexID(u), l, p)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		a := graph.VertexID(rng.Intn(n))
+		b := graph.VertexID(rng.Intn(n))
+		_ = q.AddEdge(a, graph.Label(rng.Intn(eLabels)), b) // duplicates rejected
+	}
+	return q
+}
+
+// randGraph generates a labeled data graph with nv vertices.
+func randGraph(rng *rand.Rand, nv, edges, vLabels, eLabels int) *graph.Graph {
+	g := graph.New()
+	for v := 0; v < nv; v++ {
+		_ = g.AddVertex(graph.VertexID(v), graph.Label(rng.Intn(vLabels)))
+	}
+	for i := 0; i < edges; i++ {
+		g.InsertEdge(graph.VertexID(rng.Intn(nv)), graph.Label(rng.Intn(eLabels)),
+			graph.VertexID(rng.Intn(nv)))
+	}
+	return g
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runDifferential drives a random update stream through the TurboFlux
+// engine and the naive recompute oracle, asserting after every update that
+//
+//  1. the reported positive/negative match sets are identical,
+//  2. the engine's DCG equals the declarative fixpoint (ComputeSpec), and
+//  3. the DCG's internal counters validate.
+func runDifferential(t *testing.T, seed int64, injective bool, steps int) {
+	runDifferentialOpts(t, seed, injective, steps, nil)
+}
+
+// runDifferentialOpts additionally applies an Options mutator, so engine
+// variants (e.g. the WCO search strategy) run the same differential suite.
+func runDifferentialOpts(t *testing.T, seed int64, injective bool, steps int, mutate func(*Options)) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	const nv, vLabels, eLabels = 10, 3, 3
+	q := randQuery(rng, 3+rng.Intn(3), rng.Intn(3), vLabels, eLabels)
+	g0 := randGraph(rng, nv, 8+rng.Intn(10), vLabels, eLabels)
+
+	sem := Homomorphism
+	if injective {
+		sem = Isomorphism
+	}
+	pos := map[string]bool{}
+	neg := map[string]bool{}
+	opt := DefaultOptions()
+	opt.Semantics = sem
+	if mutate != nil {
+		mutate(&opt)
+	}
+	opt.OnMatch = func(positive bool, m []graph.VertexID) {
+		k := mapKey(m)
+		if positive {
+			if pos[k] {
+				t.Fatalf("duplicate positive match %s", k)
+			}
+			pos[k] = true
+		} else {
+			if neg[k] {
+				t.Fatalf("duplicate negative match %s", k)
+			}
+			neg[k] = true
+		}
+	}
+	eng, err := New(g0.Clone(), q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := naive.New(g0.Clone(), q, injective)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Initial matches must agree.
+	initSet := map[string]bool{}
+	pos = initSet
+	eng.InitialMatches()
+	if got, want := sortedKeys(initSet), sortedKeys(oracle.InitialMatches()); !reflect.DeepEqual(got, want) {
+		t.Fatalf("seed %d: initial matches differ:\n got %v\nwant %v\nquery %v", seed, got, want, q)
+	}
+
+	live := map[graph.Edge]bool{}
+	g0.ForEachEdge(func(e graph.Edge) { live[e] = true })
+
+	for step := 0; step < steps; step++ {
+		var up stream.Update
+		if len(live) > 0 && rng.Intn(3) == 0 {
+			// Delete a random live edge.
+			es := make([]graph.Edge, 0, len(live))
+			for e := range live {
+				es = append(es, e)
+			}
+			sort.Slice(es, func(i, j int) bool {
+				return fmt.Sprint(es[i]) < fmt.Sprint(es[j])
+			})
+			e := es[rng.Intn(len(es))]
+			up = stream.Delete(e.From, e.Label, e.To)
+			delete(live, e)
+		} else {
+			e := graph.Edge{
+				From:  graph.VertexID(rng.Intn(nv)),
+				Label: graph.Label(rng.Intn(eLabels)),
+				To:    graph.VertexID(rng.Intn(nv)),
+			}
+			up = stream.Insert(e.From, e.Label, e.To)
+			live[e] = true
+		}
+
+		pos, neg = map[string]bool{}, map[string]bool{}
+		if _, err := eng.Apply(up); err != nil {
+			t.Fatalf("seed %d step %d: %v", seed, step, err)
+		}
+		oPos, oNeg, err := oracle.Apply(up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := sortedKeys(pos), sortedKeys(oPos); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d step %d (%v %v): positive mismatch\n got %v\nwant %v\nquery %v",
+				seed, step, up.Op, up.Edge, got, want, q)
+		}
+		if got, want := sortedKeys(neg), sortedKeys(oNeg); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d step %d (%v %v): negative mismatch\n got %v\nwant %v\nquery %v",
+				seed, step, up.Op, up.Edge, got, want, q)
+		}
+
+		// DCG must equal the declarative fixpoint.
+		spec := dcg.ComputeSpec(eng.Graph(), eng.Tree())
+		snap := eng.DCG().Snapshot()
+		if len(spec) != len(snap) {
+			t.Fatalf("seed %d step %d: DCG has %d edges, spec %d\nsnap=%v\nspec=%v\nquery %v",
+				seed, step, len(snap), len(spec), snap, spec, q)
+		}
+		for k, s := range spec {
+			if snap[k] != s {
+				t.Fatalf("seed %d step %d: DCG[%v]=%v, spec=%v (query %v)",
+					seed, step, k, snap[k], s, q)
+			}
+		}
+		if err := eng.DCG().Validate(); err != nil {
+			t.Fatalf("seed %d step %d: %v", seed, step, err)
+		}
+	}
+}
+
+func TestDifferentialHomomorphism(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		runDifferential(t, seed, false, 60)
+	}
+}
+
+func TestDifferentialIsomorphism(t *testing.T) {
+	for seed := int64(100); seed < 120; seed++ {
+		runDifferential(t, seed, true, 60)
+	}
+}
+
+func TestDifferentialLongStream(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long differential test")
+	}
+	runDifferential(t, 424242, false, 400)
+	runDifferential(t, 434343, true, 400)
+}
+
+// TestDifferentialWCOJoin runs the differential suite with the
+// worst-case-optimal search strategy: identical match sets and DCG states
+// are required, only the enumeration order differs.
+func TestDifferentialWCOJoin(t *testing.T) {
+	for seed := int64(200); seed < 220; seed++ {
+		runDifferentialOpts(t, seed, seed%2 == 0, 60, func(o *Options) {
+			o.Search = WCOJoin
+		})
+	}
+}

@@ -1,0 +1,451 @@
+// Package dcg implements the data-centric graph (DCG), TurboFlux's compact
+// representation of intermediate results (Section 3 of the paper).
+//
+// The DCG conceptually is a complete multigraph over the data vertices in
+// which every ordered pair (v, v') has one edge per non-root query vertex
+// u', labeled u', whose state is NULL, IMPLICIT or EXPLICIT:
+//
+//   - an IMPLICIT edge (v, u', v') records that some data path v_s→v.v'
+//     matches the query-tree path u_s→P(u').u', but some subtree of u' is
+//     not yet matched under v' (Definition 5);
+//   - an EXPLICIT edge additionally has every subtree of u' matched under
+//     v' (Definition 4).
+//
+// NULL edges are never stored. Edges whose label is the root u_s emanate
+// from the artificial source v*_s, represented here by graph.NoVertex.
+//
+// The concrete layout follows Section 3.1: each participating data vertex
+// owns its incoming DCG edges grouped by query-vertex label, plus a
+// per-label count of outgoing EXPLICIT edges — the paper's bitmap — so that
+// MatchAllChildren is O(|Children(u)|) integer tests.
+package dcg
+
+import (
+	"fmt"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+)
+
+// State is the state of a DCG edge.
+type State uint8
+
+const (
+	// Null means the edge is not present in the DCG.
+	Null State = iota
+	// Implicit marks a candidate whose subtrees are not all matched yet.
+	Implicit
+	// Explicit marks a candidate whose subtrees are all matched.
+	Explicit
+)
+
+// String returns N/I/E, the abbreviations used in the paper's figures.
+func (s State) String() string {
+	switch s {
+	case Null:
+		return "N"
+	case Implicit:
+		return "I"
+	case Explicit:
+		return "E"
+	default:
+		return "?"
+	}
+}
+
+// EdgeBytes is the accounting cost of one stored DCG edge, used for the
+// intermediate-result-size comparisons (Figures 6b, 7b, 8b, 9b): parent
+// vertex ID, child vertex ID, query-vertex label and state, plus index
+// overhead.
+const EdgeBytes = 16
+
+// outAdj is a set of explicit children supporting O(1) add/remove and
+// allocation-free slice iteration (Go map iteration pays a per-iteration
+// randomization cost that dominates small hot loops).
+type outAdj struct {
+	list []graph.VertexID
+	pos  map[graph.VertexID]int32
+}
+
+func (a *outAdj) add(v graph.VertexID) {
+	if a.pos == nil {
+		a.pos = make(map[graph.VertexID]int32)
+	}
+	a.pos[v] = int32(len(a.list))
+	a.list = append(a.list, v)
+}
+
+func (a *outAdj) remove(v graph.VertexID) {
+	i, ok := a.pos[v]
+	if !ok {
+		return
+	}
+	last := int32(len(a.list) - 1)
+	moved := a.list[last]
+	a.list[i] = moved
+	a.pos[moved] = i
+	a.list = a.list[:last]
+	delete(a.pos, v)
+}
+
+// node holds the per-data-vertex DCG storage.
+type node struct {
+	// in[u'] maps parent data vertex -> state of DCG edge (parent, u', v).
+	// For the root label u_s the parent is graph.NoVertex (v*_s).
+	in []map[graph.VertexID]State
+	// out[u'] holds this vertex's EXPLICIT children labeled u', for the
+	// forward enumeration of SubgraphSearch (candidates come straight from
+	// the DCG, never by filtering data-graph adjacency).
+	out []outAdj
+	// outExplicit[u'] counts outgoing EXPLICIT edges of this vertex labeled
+	// u'. outExplicit[u'] > 0 is the paper's bitmap bit.
+	outExplicit []int32
+}
+
+// DCG is the data-centric graph for one query tree. The zero value is not
+// usable; call New.
+type DCG struct {
+	tree  *query.Tree
+	nq    int
+	nodes map[graph.VertexID]*node
+
+	numEdges    int     // stored (implicit + explicit) edges
+	numExplicit int     // stored explicit edges
+	explByLabel []int64 // explicit-edge count per query-vertex label
+}
+
+// New returns an empty DCG for query tree t.
+func New(t *query.Tree) *DCG {
+	return &DCG{
+		tree:        t,
+		nq:          t.Q.NumVertices(),
+		nodes:       make(map[graph.VertexID]*node),
+		explByLabel: make([]int64, t.Q.NumVertices()),
+	}
+}
+
+// Tree returns the query tree this DCG indexes.
+func (d *DCG) Tree() *query.Tree { return d.tree }
+
+func (d *DCG) getNode(v graph.VertexID) *node {
+	n := d.nodes[v]
+	if n == nil {
+		n = &node{
+			in:          make([]map[graph.VertexID]State, d.nq),
+			out:         make([]outAdj, d.nq),
+			outExplicit: make([]int32, d.nq),
+		}
+		d.nodes[v] = n
+	}
+	return n
+}
+
+// GetState returns the state of DCG edge (v, u, v2). Use graph.NoVertex as
+// v for root-labeled edges (v*_s, u_s, v2).
+func (d *DCG) GetState(v graph.VertexID, u graph.VertexID, v2 graph.VertexID) State {
+	n := d.nodes[v2]
+	if n == nil || n.in[u] == nil {
+		return Null
+	}
+	return n.in[u][v]
+}
+
+// MakeTransition sets the state of DCG edge (v, u, v2) to target and
+// reports whether the stored state actually changed. Counts (per-vertex
+// explicit-out, per-label explicit totals, total edges) are maintained
+// here so every engine path stays consistent.
+func (d *DCG) MakeTransition(v graph.VertexID, u graph.VertexID, v2 graph.VertexID, target State) bool {
+	cur := d.GetState(v, u, v2)
+	if cur == target {
+		return false
+	}
+	// Update storage.
+	if target == Null {
+		n := d.nodes[v2]
+		delete(n.in[u], v)
+	} else {
+		n := d.getNode(v2)
+		if n.in[u] == nil {
+			n.in[u] = make(map[graph.VertexID]State)
+		}
+		n.in[u][v] = target
+	}
+	// Update counters.
+	if cur == Null {
+		d.numEdges++
+	}
+	if target == Null {
+		d.numEdges--
+	}
+	if cur == Explicit {
+		d.numExplicit--
+		d.explByLabel[u]--
+		if v != graph.NoVertex {
+			pn := d.getNode(v)
+			pn.outExplicit[u]--
+			pn.out[u].remove(v2)
+		}
+	}
+	if target == Explicit {
+		d.numExplicit++
+		d.explByLabel[u]++
+		if v != graph.NoVertex {
+			pn := d.getNode(v)
+			pn.outExplicit[u]++
+			pn.out[u].add(v2)
+		}
+	}
+	return true
+}
+
+// InDegree returns the number of stored (implicit or explicit) incoming
+// edges of v2 labeled u — the paper's |GetImplAndExplEdges(v2, u, in)|.
+func (d *DCG) InDegree(v2 graph.VertexID, u graph.VertexID) int {
+	n := d.nodes[v2]
+	if n == nil || n.in[u] == nil {
+		return 0
+	}
+	return len(n.in[u])
+}
+
+// ForEachInEdge calls fn for every stored incoming edge (parent, u, v2).
+// fn must not mutate the DCG for edges labeled u of v2; engines that need
+// to mutate during iteration snapshot the parents first (see InParents).
+func (d *DCG) ForEachInEdge(v2 graph.VertexID, u graph.VertexID, fn func(parent graph.VertexID, s State)) {
+	n := d.nodes[v2]
+	if n == nil || n.in[u] == nil {
+		return
+	}
+	for p, s := range n.in[u] {
+		fn(p, s)
+	}
+}
+
+// InParents returns a snapshot of the parents of v2's stored incoming
+// edges labeled u, optionally restricted to explicit edges.
+func (d *DCG) InParents(v2 graph.VertexID, u graph.VertexID, explicitOnly bool) []graph.VertexID {
+	n := d.nodes[v2]
+	if n == nil || n.in[u] == nil {
+		return nil
+	}
+	out := make([]graph.VertexID, 0, len(n.in[u]))
+	for p, s := range n.in[u] {
+		if explicitOnly && s != Explicit {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// HasInLabel reports whether v has at least one stored incoming edge
+// labeled u (the "u ∈ U" test in Algorithms 5 and 8).
+func (d *DCG) HasInLabel(v graph.VertexID, u graph.VertexID) bool {
+	return d.InDegree(v, u) > 0
+}
+
+// InLabels returns the set U of query vertices u such that v has at least
+// one stored incoming edge labeled u.
+func (d *DCG) InLabels(v graph.VertexID) []graph.VertexID {
+	n := d.nodes[v]
+	if n == nil {
+		return nil
+	}
+	var out []graph.VertexID
+	for u, m := range n.in {
+		if len(m) > 0 {
+			out = append(out, graph.VertexID(u))
+		}
+	}
+	return out
+}
+
+// ExplicitOut returns the number of outgoing EXPLICIT edges of v labeled u.
+func (d *DCG) ExplicitOut(v graph.VertexID, u graph.VertexID) int32 {
+	n := d.nodes[v]
+	if n == nil {
+		return 0
+	}
+	return n.outExplicit[u]
+}
+
+// MatchAllChildren reports whether, for every child u' of u in the query
+// tree, v has an outgoing EXPLICIT edge labeled u' (Algorithm 4). O(1) per
+// child via the explicit-out counters.
+func (d *DCG) MatchAllChildren(v graph.VertexID, u graph.VertexID) bool {
+	n := d.nodes[v]
+	children := d.tree.Children[u]
+	if n == nil {
+		return len(children) == 0
+	}
+	for _, c := range children {
+		if n.outExplicit[c] == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ExplicitChildren enumerates the explicit out-neighbors of v labeled u:
+// the data vertices v' with GetState(v, u, v') == Explicit. This is the
+// candidate enumeration used by SubgraphSearch (Algorithm 7, Line 15).
+// Candidates come straight from the DCG's out-adjacency — never by
+// filtering data-graph neighbors — which keeps the search cost
+// proportional to the number of candidates, not the vertex degree.
+func (d *DCG) ExplicitChildren(v graph.VertexID, u graph.VertexID, fn func(v2 graph.VertexID) bool) {
+	if u == d.tree.Root {
+		// Root candidates come from the artificial source; enumerate stored
+		// root edges instead (only valid when v == graph.NoVertex).
+		panic("dcg: ExplicitChildren must not be called for the root label")
+	}
+	n := d.nodes[v]
+	if n == nil {
+		return
+	}
+	for _, v2 := range n.out[u].list {
+		if !fn(v2) {
+			return
+		}
+	}
+}
+
+// ExplicitChildrenList returns the explicit out-neighbors of v labeled u
+// as a slice owned by the DCG: callers must not mutate it and must not
+// hold it across transitions. Used by the worst-case-optimal search to
+// pick the smallest candidate list before intersecting.
+func (d *DCG) ExplicitChildrenList(v graph.VertexID, u graph.VertexID) []graph.VertexID {
+	n := d.nodes[v]
+	if n == nil {
+		return nil
+	}
+	return n.out[u].list
+}
+
+// RootCandidates returns the data vertices v_s whose root edge
+// (v*_s, u_s, v_s) is stored, filtered to explicit ones when explicitOnly.
+func (d *DCG) RootCandidates(explicitOnly bool) []graph.VertexID {
+	var out []graph.VertexID
+	us := d.tree.Root
+	for v, n := range d.nodes {
+		if n.in[us] == nil {
+			continue
+		}
+		if s, ok := n.in[us][graph.NoVertex]; ok && (!explicitOnly || s == Explicit) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NumEdges returns the number of stored (implicit + explicit) DCG edges,
+// including root edges from v*_s.
+func (d *DCG) NumEdges() int { return d.numEdges }
+
+// NumExplicit returns the number of stored EXPLICIT edges.
+func (d *DCG) NumExplicit() int { return d.numExplicit }
+
+// ExplicitCount returns the number of EXPLICIT edges labeled u — the exact
+// count of explicit data paths ending at a u-candidate, used to drive the
+// matching order (Section 4.1).
+func (d *DCG) ExplicitCount(u graph.VertexID) int64 { return d.explByLabel[u] }
+
+// SizeBytes returns the accounting size of the DCG for intermediate-result
+// comparisons: stored edges times EdgeBytes.
+func (d *DCG) SizeBytes() int64 { return int64(d.numEdges) * EdgeBytes }
+
+// Validate checks internal consistency: per-label explicit counts,
+// per-vertex explicit-out counters and the total counters must agree with
+// the stored maps. It returns the first inconsistency found. Tests and the
+// failure-injection suite call this after every update.
+func (d *DCG) Validate() error {
+	edges, explicit := 0, 0
+	explByLabel := make([]int64, d.nq)
+	outExpl := make(map[graph.VertexID][]int32)
+	for v2, n := range d.nodes {
+		for u, m := range n.in {
+			for p, s := range m {
+				if s == Null {
+					return fmt.Errorf("dcg: stored NULL edge (%d,%d,%d)", p, u, v2)
+				}
+				edges++
+				if s == Explicit {
+					explicit++
+					explByLabel[u]++
+					if p != graph.NoVertex {
+						oe := outExpl[p]
+						if oe == nil {
+							oe = make([]int32, d.nq)
+							outExpl[p] = oe
+						}
+						oe[u]++
+					}
+				}
+			}
+		}
+	}
+	if edges != d.numEdges {
+		return fmt.Errorf("dcg: numEdges=%d, stored=%d", d.numEdges, edges)
+	}
+	if explicit != d.numExplicit {
+		return fmt.Errorf("dcg: numExplicit=%d, stored=%d", d.numExplicit, explicit)
+	}
+	for u := 0; u < d.nq; u++ {
+		if explByLabel[u] != d.explByLabel[u] {
+			return fmt.Errorf("dcg: explByLabel[%d]=%d, stored=%d", u, d.explByLabel[u], explByLabel[u])
+		}
+	}
+	for v, n := range d.nodes {
+		want := outExpl[v]
+		for u := 0; u < d.nq; u++ {
+			w := int32(0)
+			if want != nil {
+				w = want[u]
+			}
+			if n.outExplicit[u] != w {
+				return fmt.Errorf("dcg: outExplicit[%d][%d]=%d, stored=%d", v, u, n.outExplicit[u], w)
+			}
+			if int32(len(n.out[u].list)) != w {
+				return fmt.Errorf("dcg: out-adjacency[%d][%d] has %d entries, want %d", v, u, len(n.out[u].list), w)
+			}
+			for i, v2 := range n.out[u].list {
+				if d.GetState(v, graph.VertexID(u), v2) != Explicit {
+					return fmt.Errorf("dcg: out-adjacency (%d,%d,%d) not explicit", v, u, v2)
+				}
+				if n.out[u].pos[v2] != int32(i) {
+					return fmt.Errorf("dcg: out-adjacency position index broken at (%d,%d,%d)", v, u, v2)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Snapshot returns all stored edges as a map from (parent, label, child) to
+// state. Used by the oracle-equivalence tests.
+func (d *DCG) Snapshot() map[EdgeKey]State {
+	out := make(map[EdgeKey]State, d.numEdges)
+	for v2, n := range d.nodes {
+		for u, m := range n.in {
+			for p, s := range m {
+				out[EdgeKey{From: p, QV: graph.VertexID(u), To: v2}] = s
+			}
+		}
+	}
+	return out
+}
+
+// EdgeKey identifies one DCG edge: (From, QV, To) where QV is the
+// query-vertex label and From is graph.NoVertex for root edges.
+type EdgeKey struct {
+	From graph.VertexID
+	QV   graph.VertexID
+	To   graph.VertexID
+}
+
+// String formats the key like the paper's figures, e.g. "(v2, u3, v104)".
+func (k EdgeKey) String() string {
+	if k.From == graph.NoVertex {
+		return fmt.Sprintf("(v*, u%d, v%d)", k.QV, k.To)
+	}
+	return fmt.Sprintf("(v%d, u%d, v%d)", k.From, k.QV, k.To)
+}

@@ -1,0 +1,99 @@
+package dcg
+
+import (
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+)
+
+// ComputeSpec computes the DCG states for data graph g and query tree t
+// directly from Definitions 4 and 5 — the declarative fixpoint the edge
+// transition model (Transitions 0–5) must converge to. It is the oracle
+// against which the incrementally maintained DCG is compared in property
+// tests, and the reference implementation of the paper's Algorithm 1 (EL).
+//
+// Presence (implicit-or-explicit) is computed top-down in query-tree
+// preorder: an edge (v, u', v') is present iff (v, v') matches the tree
+// edge of u' and v has a present incoming edge labeled P(u'). Explicitness
+// is computed bottom-up in reverse preorder: a present edge is explicit iff
+// for every child u” of u', v' has a present-and-explicit outgoing edge
+// labeled u”. Both passes are single-pass because presence of label u'
+// depends only on strictly shallower labels and explicitness only on
+// strictly deeper ones.
+func ComputeSpec(g *graph.Graph, t *query.Tree) map[EdgeKey]State {
+	q := t.Q
+	present := make(map[EdgeKey]bool)
+	// candidates[u] = data vertices with >=1 present incoming edge labeled u.
+	candidates := make([]map[graph.VertexID]bool, q.NumVertices())
+	for u := range candidates {
+		candidates[u] = make(map[graph.VertexID]bool)
+	}
+
+	pre := t.VerticesPreorder()
+
+	// Top-down pass: presence.
+	rootLabels := q.Labels(t.Root)
+	if len(rootLabels) == 0 {
+		g.ForEachVertex(func(v graph.VertexID) {
+			present[EdgeKey{From: graph.NoVertex, QV: t.Root, To: v}] = true
+			candidates[t.Root][v] = true
+		})
+	} else {
+		for _, v := range g.VerticesWithLabel(rootLabels[0]) {
+			if g.HasAllLabels(v, rootLabels) {
+				present[EdgeKey{From: graph.NoVertex, QV: t.Root, To: v}] = true
+				candidates[t.Root][v] = true
+			}
+		}
+	}
+	for _, u := range pre[1:] {
+		te := t.ParentEdge[u]
+		uLabels := q.Labels(u)
+		for v := range candidates[te.Parent] {
+			var nbrs []graph.VertexID
+			if te.Forward {
+				nbrs = g.OutNeighbors(v, te.Label)
+			} else {
+				nbrs = g.InNeighbors(v, te.Label)
+			}
+			for _, v2 := range nbrs {
+				if !g.HasAllLabels(v2, uLabels) {
+					continue
+				}
+				present[EdgeKey{From: v, QV: u, To: v2}] = true
+				candidates[u][v2] = true
+			}
+		}
+	}
+
+	// Bottom-up pass: explicitness. explicitAt[u][v'] = v' has >=1 explicit
+	// outgoing edge labeled u.
+	explicitAt := make([]map[graph.VertexID]bool, q.NumVertices())
+	for u := range explicitAt {
+		explicitAt[u] = make(map[graph.VertexID]bool)
+	}
+	states := make(map[EdgeKey]State, len(present))
+	for i := len(pre) - 1; i >= 0; i-- {
+		u := pre[i]
+		for k := range present {
+			if k.QV != u {
+				continue
+			}
+			expl := true
+			for _, c := range t.Children[u] {
+				if !explicitAt[c][k.To] {
+					expl = false
+					break
+				}
+			}
+			if expl {
+				states[k] = Explicit
+				if k.From != graph.NoVertex {
+					explicitAt[u][k.From] = true
+				}
+			} else {
+				states[k] = Implicit
+			}
+		}
+	}
+	return states
+}

@@ -1,0 +1,104 @@
+package dcg
+
+import (
+	"testing"
+
+	"turboflux/internal/graph"
+)
+
+// TestSpecPaperExample hand-checks ComputeSpec against the miniature
+// Figure 1 scenario: the u2 branch of the data is fully matched (explicit)
+// while the u3 branch lacks its u4 leaf, so everything on the path through
+// u3 — and therefore the u1 edge and the root edge — stays implicit.
+func TestSpecPaperExample(t *testing.T) {
+	g := paperData(t)
+	tr := paperTree(t, g)
+	states := ComputeSpec(g, tr)
+
+	want := map[EdgeKey]State{
+		{From: graph.NoVertex, QV: 0, To: 0}: Implicit, // (v*, u0, v0)
+		{From: 0, QV: 1, To: 2}:              Implicit, // (v0, u1, v2)
+		{From: 2, QV: 2, To: 4}:              Explicit, // (v2, u2, v4)
+		{From: 2, QV: 2, To: 5}:              Explicit, // (v2, u2, v5)
+		{From: 2, QV: 3, To: 104}:            Implicit, // (v2, u3, v104): no u4 child
+	}
+	if len(states) != len(want) {
+		t.Fatalf("spec has %d edges, want %d: %v", len(states), len(want), states)
+	}
+	for k, s := range want {
+		if states[k] != s {
+			t.Errorf("spec[%v] = %v, want %v", k, states[k], s)
+		}
+	}
+}
+
+// TestSpecAfterCompletingEdge completes the missing (v104, e4, v414) edge;
+// all states must flip to explicit, mirroring Figure 4f–4h.
+func TestSpecAfterCompletingEdge(t *testing.T) {
+	g := paperData(t)
+	if err := g.AddVertex(414, lD); err != nil {
+		t.Fatal(err)
+	}
+	g.InsertEdge(104, e4, 414)
+	tr := paperTree(t, g)
+	states := ComputeSpec(g, tr)
+	if len(states) != 6 {
+		t.Fatalf("spec has %d edges, want 6", len(states))
+	}
+	for k, s := range states {
+		if s != Explicit {
+			t.Errorf("spec[%v] = %v, want E", k, s)
+		}
+	}
+}
+
+// TestSpecDisconnectedBranch: a data vertex matching u1's labels but not
+// reachable from any u0-candidate must produce no DCG edges at all.
+func TestSpecDisconnectedBranch(t *testing.T) {
+	g := paperData(t)
+	if err := g.AddVertex(50, lB); err != nil { // B vertex with no A parent
+		t.Fatal(err)
+	}
+	if err := g.AddVertex(51, lC); err != nil {
+		t.Fatal(err)
+	}
+	g.InsertEdge(50, e2, 51)
+	tr := paperTree(t, g)
+	states := ComputeSpec(g, tr)
+	for k := range states {
+		if k.To == 51 || k.To == 50 {
+			t.Errorf("unreachable branch produced edge %v", k)
+		}
+	}
+}
+
+// TestSpecUnlabeledQuery: with no vertex labels anywhere (the Netflow
+// regime), every vertex is a root candidate.
+func TestSpecUnlabeledQuery(t *testing.T) {
+	g := graph.New()
+	g.InsertEdge(0, 7, 1)
+	g.InsertEdge(1, 7, 2)
+	q := newPathQuery(t, 2, 7) // u0 -7-> u1 -7-> u2, all unlabeled
+	tr := mustTree(t, q, 0, g)
+	states := ComputeSpec(g, tr)
+	// Root candidates: v0, v1, v2 (3 root edges). Depth-1: (0,u1,1), (1,u1,2).
+	// Depth-2: (1,u2,2) — only v1 is a u1-candidate with an outgoing 7-edge.
+	roots := 0
+	for k := range states {
+		if k.From == graph.NoVertex {
+			roots++
+		}
+	}
+	if roots != 3 {
+		t.Fatalf("root edges = %d, want 3", roots)
+	}
+	if states[EdgeKey{From: 1, QV: 2, To: 2}] != Explicit {
+		t.Fatal("(v1,u2,v2) must be explicit")
+	}
+	if states[EdgeKey{From: 0, QV: 1, To: 1}] != Explicit {
+		t.Fatal("(v0,u1,v1) must be explicit: v1 has explicit u2 child")
+	}
+	if states[EdgeKey{From: 1, QV: 1, To: 2}] != Implicit {
+		t.Fatal("(v1,u1,v2) must be implicit: v2 has no u2 child")
+	}
+}

@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := New()
+	_ = g.AddVertex(0, 1, 2)
+	_ = g.AddVertex(5)
+	_ = g.AddVertex(1<<20, 9)
+	g.InsertEdge(0, 3, 5)
+	g.InsertEdge(5, 0, 1<<20)
+	g.InsertEdge(0, 3, 0) // self loop
+
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape %d/%d, want %d/%d",
+			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	g.ForEachEdge(func(e Edge) {
+		if !got.HasEdge(e.From, e.Label, e.To) {
+			t.Fatalf("edge %v lost", e)
+		}
+	})
+	if !got.HasLabel(0, 1) || !got.HasLabel(0, 2) || !got.HasLabel(1<<20, 9) {
+		t.Fatal("labels lost")
+	}
+	if len(got.Labels(5)) != 0 {
+		t.Fatal("unlabeled vertex gained labels")
+	}
+}
+
+func TestBinaryQuickRoundTrip(t *testing.T) {
+	f := func(seed int64, nv uint8, ne uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+		n := int(nv%20) + 1
+		for v := 0; v < n; v++ {
+			_ = g.AddVertex(VertexID(v), Label(rng.Intn(4)))
+		}
+		for i := 0; i < int(ne); i++ {
+			g.InsertEdge(VertexID(rng.Intn(n)), Label(rng.Intn(4)), VertexID(rng.Intn(n)))
+		}
+		var buf bytes.Buffer
+		if g.WriteBinary(&buf) != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+			return false
+		}
+		ok := true
+		g.ForEachEdge(func(e Edge) {
+			if !got.HasEdge(e.From, e.Label, e.To) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(strings.NewReader("")); err == nil {
+		t.Fatal("empty input must fail")
+	}
+	if _, err := ReadBinary(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	// Truncated payload.
+	g := New()
+	_ = g.AddVertex(1, 2)
+	g.InsertEdge(1, 0, 2)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := 4; cut < len(full)-1; cut++ {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d must fail", cut)
+		}
+	}
+}

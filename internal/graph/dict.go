@@ -1,0 +1,50 @@
+package graph
+
+import "fmt"
+
+// Dict interns strings to Labels. Vertex labels and edge labels use
+// separate Dict instances (separate namespaces), mirroring how RDF loaders
+// intern predicate and class IRIs independently.
+type Dict struct {
+	byName map[string]Label
+	names  []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{byName: make(map[string]Label)}
+}
+
+// Intern returns the Label for name, assigning the next free Label on first
+// use. It panics if more than 65535 distinct labels are interned, which is
+// far beyond any workload in the paper (Netflow has 8 edge labels).
+func (d *Dict) Intern(name string) Label {
+	if l, ok := d.byName[name]; ok {
+		return l
+	}
+	if len(d.names) >= 1<<16 {
+		panic("graph: label dictionary overflow")
+	}
+	l := Label(len(d.names))
+	d.byName[name] = l
+	d.names = append(d.names, name)
+	return l
+}
+
+// Lookup returns the Label for name and whether it was interned.
+func (d *Dict) Lookup(name string) (Label, bool) {
+	l, ok := d.byName[name]
+	return l, ok
+}
+
+// Name returns the string for l. It returns a placeholder for labels never
+// interned through this dictionary.
+func (d *Dict) Name(l Label) string {
+	if int(l) < len(d.names) {
+		return d.names[l]
+	}
+	return fmt.Sprintf("label#%d", l)
+}
+
+// Len reports the number of interned labels.
+func (d *Dict) Len() int { return len(d.names) }

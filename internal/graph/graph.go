@@ -1,0 +1,401 @@
+// Package graph implements the dynamic labeled directed multigraph that
+// TurboFlux and all baseline engines operate on.
+//
+// The graph stores a set of vertices, each carrying a fixed set of vertex
+// labels, and a set of directed edges (from, label, to). Edge insertion and
+// deletion are O(1) amortized plus O(deg) slice maintenance; adjacency is
+// indexed per edge label in both directions so that engines can enumerate
+// out- or in-neighbors reachable through a specific label without scanning.
+//
+// Vertex labels are fixed once the vertex is created: this matches the RDF
+// datasets used by the paper (LSBench, Netflow), where the type of an entity
+// never changes while edges stream in and out.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a data or query vertex. IDs are dense small integers
+// assigned by the caller (workload generators allocate them sequentially).
+type VertexID uint32
+
+// NoVertex is a sentinel for "no vertex"; it is also used by the engine as
+// the artificial DCG source vertex v*_s.
+const NoVertex VertexID = ^VertexID(0)
+
+// Label is an interned vertex or edge label. Vertex labels and edge labels
+// live in separate namespaces (a Dict per namespace).
+type Label uint16
+
+// Edge is a directed labeled edge (From --Label--> To).
+type Edge struct {
+	From  VertexID
+	Label Label
+	To    VertexID
+}
+
+// String formats the edge as "from -l-> to".
+func (e Edge) String() string {
+	return fmt.Sprintf("%d -%d-> %d", e.From, e.Label, e.To)
+}
+
+// Reverse returns the edge with endpoints swapped (same label).
+func (e Edge) Reverse() Edge {
+	return Edge{From: e.To, Label: e.Label, To: e.From}
+}
+
+type vertexData struct {
+	labels []Label // sorted, deduplicated; empty means "unlabeled vertex"
+	out    map[Label][]VertexID
+	in     map[Label][]VertexID
+	outDeg int
+	inDeg  int
+}
+
+// Graph is a dynamic labeled directed multigraph. The zero value is not
+// usable; call New.
+//
+// Graph is not safe for concurrent mutation; the paper's system (and every
+// baseline) is single-threaded per stream, and so are we.
+type Graph struct {
+	verts     []*vertexData // indexed by VertexID; nil slot = vertex absent
+	edges     map[Edge]struct{}
+	byLabel   map[Label][]VertexID // vertex label -> vertices carrying it (append-only)
+	edgeCount map[Label]int        // edge label -> live edge count
+	numVerts  int
+	numEdges  int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		edges:     make(map[Edge]struct{}),
+		byLabel:   make(map[Label][]VertexID),
+		edgeCount: make(map[Label]int),
+	}
+}
+
+// NumVertices reports the number of live vertices.
+func (g *Graph) NumVertices() int { return g.numVerts }
+
+// NumEdges reports the number of live edges.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// HasVertex reports whether v exists.
+func (g *Graph) HasVertex(v VertexID) bool {
+	return int(v) < len(g.verts) && g.verts[v] != nil
+}
+
+// AddVertex creates vertex v with the given labels. Labels are sorted and
+// deduplicated. Adding an existing vertex is an error (labels are immutable
+// after creation); use EnsureVertex for idempotent creation of unlabeled
+// vertices.
+func (g *Graph) AddVertex(v VertexID, labels ...Label) error {
+	if g.HasVertex(v) {
+		return fmt.Errorf("graph: vertex %d already exists", v)
+	}
+	g.grow(v)
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	ls = dedupLabels(ls)
+	g.verts[v] = &vertexData{
+		labels: ls,
+		out:    make(map[Label][]VertexID),
+		in:     make(map[Label][]VertexID),
+	}
+	g.numVerts++
+	for _, l := range ls {
+		g.byLabel[l] = append(g.byLabel[l], v)
+	}
+	return nil
+}
+
+// EnsureVertex creates v with the given labels if it does not exist yet.
+// If v already exists its labels are left untouched.
+func (g *Graph) EnsureVertex(v VertexID, labels ...Label) {
+	if !g.HasVertex(v) {
+		// AddVertex cannot fail here: we just checked existence.
+		_ = g.AddVertex(v, labels...)
+	}
+}
+
+func (g *Graph) grow(v VertexID) {
+	if int(v) >= len(g.verts) {
+		n := int(v) + 1
+		if n < 2*len(g.verts) {
+			n = 2 * len(g.verts) // amortize repeated growth
+		}
+		nv := make([]*vertexData, n)
+		copy(nv, g.verts)
+		g.verts = nv
+	}
+}
+
+func dedupLabels(ls []Label) []Label {
+	if len(ls) < 2 {
+		return ls
+	}
+	w := 1
+	for i := 1; i < len(ls); i++ {
+		if ls[i] != ls[i-1] {
+			ls[w] = ls[i]
+			w++
+		}
+	}
+	return ls[:w]
+}
+
+// Labels returns the sorted label set of v (nil if v is absent or
+// unlabeled). The returned slice must not be mutated.
+func (g *Graph) Labels(v VertexID) []Label {
+	if !g.HasVertex(v) {
+		return nil
+	}
+	return g.verts[v].labels
+}
+
+// HasLabel reports whether v carries label l.
+func (g *Graph) HasLabel(v VertexID, l Label) bool {
+	if !g.HasVertex(v) {
+		return false
+	}
+	ls := g.verts[v].labels
+	i := sort.Search(len(ls), func(i int) bool { return ls[i] >= l })
+	return i < len(ls) && ls[i] == l
+}
+
+// HasAllLabels reports whether required ⊆ labels(v). An empty required set
+// matches every existing vertex (the homomorphism condition L(u) ⊆ L(m(u))).
+func (g *Graph) HasAllLabels(v VertexID, required []Label) bool {
+	if !g.HasVertex(v) {
+		return false
+	}
+	ls := g.verts[v].labels
+	i := 0
+	for _, r := range required {
+		for i < len(ls) && ls[i] < r {
+			i++
+		}
+		if i >= len(ls) || ls[i] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// VerticesWithLabel returns the vertices carrying label l. The slice is
+// owned by the graph and must not be mutated. Because vertex labels are
+// immutable, the index is append-only and always exact.
+func (g *Graph) VerticesWithLabel(l Label) []VertexID {
+	return g.byLabel[l]
+}
+
+// CountVerticesWithLabels returns the number of vertices whose label set is
+// a superset of required. For an empty required set it returns NumVertices.
+func (g *Graph) CountVerticesWithLabels(required []Label) int {
+	if len(required) == 0 {
+		return g.numVerts
+	}
+	// Scan the candidates of the rarest label.
+	rare := required[0]
+	for _, l := range required[1:] {
+		if len(g.byLabel[l]) < len(g.byLabel[rare]) {
+			rare = l
+		}
+	}
+	n := 0
+	for _, v := range g.byLabel[rare] {
+		if g.HasAllLabels(v, required) {
+			n++
+		}
+	}
+	return n
+}
+
+// InsertEdge adds edge (from, l, to), creating missing endpoints as
+// unlabeled vertices. It reports whether the edge was newly inserted
+// (false for duplicates, which leave the graph unchanged).
+func (g *Graph) InsertEdge(from VertexID, l Label, to VertexID) bool {
+	e := Edge{From: from, Label: l, To: to}
+	if _, dup := g.edges[e]; dup {
+		return false
+	}
+	g.EnsureVertex(from)
+	g.EnsureVertex(to)
+	g.edges[e] = struct{}{}
+	fd, td := g.verts[from], g.verts[to]
+	fd.out[l] = append(fd.out[l], to)
+	fd.outDeg++
+	td.in[l] = append(td.in[l], from)
+	td.inDeg++
+	g.edgeCount[l]++
+	g.numEdges++
+	return true
+}
+
+// DeleteEdge removes edge (from, l, to). It reports whether the edge
+// existed.
+func (g *Graph) DeleteEdge(from VertexID, l Label, to VertexID) bool {
+	e := Edge{From: from, Label: l, To: to}
+	if _, ok := g.edges[e]; !ok {
+		return false
+	}
+	delete(g.edges, e)
+	fd, td := g.verts[from], g.verts[to]
+	fd.out[l] = removeFirst(fd.out[l], to)
+	fd.outDeg--
+	td.in[l] = removeFirst(td.in[l], from)
+	td.inDeg--
+	g.edgeCount[l]--
+	g.numEdges--
+	return true
+}
+
+func removeFirst(s []VertexID, v VertexID) []VertexID {
+	for i, x := range s {
+		if x == v {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// HasEdge reports whether edge (from, l, to) exists.
+func (g *Graph) HasEdge(from VertexID, l Label, to VertexID) bool {
+	_, ok := g.edges[Edge{From: from, Label: l, To: to}]
+	return ok
+}
+
+// OutNeighbors returns the targets of edges from v with label l. The slice
+// is owned by the graph; callers must not mutate it and must not hold it
+// across graph mutations.
+func (g *Graph) OutNeighbors(v VertexID, l Label) []VertexID {
+	if !g.HasVertex(v) {
+		return nil
+	}
+	return g.verts[v].out[l]
+}
+
+// InNeighbors returns the sources of edges into v with label l, with the
+// same ownership rules as OutNeighbors.
+func (g *Graph) InNeighbors(v VertexID, l Label) []VertexID {
+	if !g.HasVertex(v) {
+		return nil
+	}
+	return g.verts[v].in[l]
+}
+
+// OutDegree returns the total out-degree of v across all labels.
+func (g *Graph) OutDegree(v VertexID) int {
+	if !g.HasVertex(v) {
+		return 0
+	}
+	return g.verts[v].outDeg
+}
+
+// InDegree returns the total in-degree of v across all labels.
+func (g *Graph) InDegree(v VertexID) int {
+	if !g.HasVertex(v) {
+		return 0
+	}
+	return g.verts[v].inDeg
+}
+
+// Degree returns in-degree + out-degree of v.
+func (g *Graph) Degree(v VertexID) int { return g.InDegree(v) + g.OutDegree(v) }
+
+// EdgeCount returns the number of live edges with label l.
+func (g *Graph) EdgeCount(l Label) int { return g.edgeCount[l] }
+
+// ForEachOutLabel calls fn for every (label, neighbors) pair of v's
+// outgoing adjacency. Neighbor slices follow OutNeighbors ownership rules.
+func (g *Graph) ForEachOutLabel(v VertexID, fn func(l Label, nbrs []VertexID)) {
+	if !g.HasVertex(v) {
+		return
+	}
+	for l, nbrs := range g.verts[v].out {
+		if len(nbrs) > 0 {
+			fn(l, nbrs)
+		}
+	}
+}
+
+// ForEachInLabel calls fn for every (label, neighbors) pair of v's incoming
+// adjacency.
+func (g *Graph) ForEachInLabel(v VertexID, fn func(l Label, nbrs []VertexID)) {
+	if !g.HasVertex(v) {
+		return
+	}
+	for l, nbrs := range g.verts[v].in {
+		if len(nbrs) > 0 {
+			fn(l, nbrs)
+		}
+	}
+}
+
+// ForEachEdge calls fn for every live edge. Iteration order is unspecified.
+// fn must not mutate the graph.
+func (g *Graph) ForEachEdge(fn func(Edge)) {
+	for e := range g.edges {
+		fn(e)
+	}
+}
+
+// Edges returns all live edges in an unspecified order.
+func (g *Graph) Edges() []Edge {
+	es := make([]Edge, 0, g.numEdges)
+	for e := range g.edges {
+		es = append(es, e)
+	}
+	return es
+}
+
+// ForEachVertex calls fn for every live vertex.
+func (g *Graph) ForEachVertex(fn func(VertexID)) {
+	for id, vd := range g.verts {
+		if vd != nil {
+			fn(VertexID(id))
+		}
+	}
+}
+
+// Clone returns a deep copy of the graph. Used by snapshot-based baselines
+// (IncIsoMat, naive recompute) to evaluate "before" and "after" states.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	c.verts = make([]*vertexData, len(g.verts))
+	for id, vd := range g.verts {
+		if vd == nil {
+			continue
+		}
+		nd := &vertexData{
+			labels: vd.labels, // immutable: safe to share
+			out:    make(map[Label][]VertexID, len(vd.out)),
+			in:     make(map[Label][]VertexID, len(vd.in)),
+			outDeg: vd.outDeg,
+			inDeg:  vd.inDeg,
+		}
+		for l, nbrs := range vd.out {
+			nd.out[l] = append([]VertexID(nil), nbrs...)
+		}
+		for l, nbrs := range vd.in {
+			nd.in[l] = append([]VertexID(nil), nbrs...)
+		}
+		c.verts[id] = nd
+	}
+	c.numVerts = g.numVerts
+	c.numEdges = g.numEdges
+	for e := range g.edges {
+		c.edges[e] = struct{}{}
+	}
+	for l, vs := range g.byLabel {
+		c.byLabel[l] = append([]VertexID(nil), vs...)
+	}
+	for l, n := range g.edgeCount {
+		c.edgeCount[l] = n
+	}
+	return c
+}

@@ -1,0 +1,167 @@
+package graphflow
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/matcher"
+	"turboflux/internal/naive"
+	"turboflux/internal/query"
+	"turboflux/internal/stream"
+)
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func randQuery(rng *rand.Rand, n, extra int) *query.Graph {
+	q := query.NewGraph(n)
+	for u := 0; u < n; u++ {
+		if rng.Intn(3) > 0 {
+			q.SetLabels(graph.VertexID(u), graph.Label(rng.Intn(3)))
+		}
+	}
+	for u := 1; u < n; u++ {
+		p := graph.VertexID(rng.Intn(u))
+		l := graph.Label(rng.Intn(3))
+		if rng.Intn(2) == 0 {
+			_ = q.AddEdge(p, l, graph.VertexID(u))
+		} else {
+			_ = q.AddEdge(graph.VertexID(u), l, p)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		_ = q.AddEdge(graph.VertexID(rng.Intn(n)), graph.Label(rng.Intn(3)), graph.VertexID(rng.Intn(n)))
+	}
+	return q
+}
+
+// TestDifferentialVsNaive replays random mixed streams through Graphflow
+// and the naive oracle, comparing per-update positive and negative sets.
+func TestDifferentialVsNaive(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		injective := seed%2 == 1
+		q := randQuery(rng, 3+rng.Intn(3), rng.Intn(3))
+		const nv = 10
+		g0 := graph.New()
+		for v := 0; v < nv; v++ {
+			_ = g0.AddVertex(graph.VertexID(v), graph.Label(rng.Intn(3)))
+		}
+		for i := 0; i < 10; i++ {
+			g0.InsertEdge(graph.VertexID(rng.Intn(nv)), graph.Label(rng.Intn(3)), graph.VertexID(rng.Intn(nv)))
+		}
+		pos, neg := map[string]bool{}, map[string]bool{}
+		eng, err := New(g0.Clone(), q, Options{Injective: injective, OnMatch: func(positive bool, m []graph.VertexID) {
+			k := matcher.Key(m)
+			if positive {
+				if pos[k] {
+					t.Fatalf("seed %d: duplicate positive %s", seed, k)
+				}
+				pos[k] = true
+			} else {
+				if neg[k] {
+					t.Fatalf("seed %d: duplicate negative %s", seed, k)
+				}
+				neg[k] = true
+			}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := naive.New(g0.Clone(), q, injective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[graph.Edge]bool{}
+		g0.ForEachEdge(func(e graph.Edge) { live[e] = true })
+		for step := 0; step < 60; step++ {
+			var up stream.Update
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				es := make([]graph.Edge, 0, len(live))
+				for e := range live {
+					es = append(es, e)
+				}
+				sort.Slice(es, func(i, j int) bool {
+					return es[i].From < es[j].From ||
+						(es[i].From == es[j].From && (es[i].Label < es[j].Label ||
+							(es[i].Label == es[j].Label && es[i].To < es[j].To)))
+				})
+				e := es[rng.Intn(len(es))]
+				up = stream.Delete(e.From, e.Label, e.To)
+				delete(live, e)
+			} else {
+				e := graph.Edge{
+					From:  graph.VertexID(rng.Intn(nv)),
+					Label: graph.Label(rng.Intn(3)),
+					To:    graph.VertexID(rng.Intn(nv)),
+				}
+				up = stream.Insert(e.From, e.Label, e.To)
+				live[e] = true
+			}
+			pos, neg = map[string]bool{}, map[string]bool{}
+			if _, err := eng.Apply(up); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			oPos, oNeg, err := oracle.Apply(up)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := sortedKeys(pos), sortedKeys(oPos); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d step %d (%v %v): positives\n got %v\nwant %v\nquery %v",
+					seed, step, up.Op, up.Edge, got, want, q)
+			}
+			if got, want := sortedKeys(neg), sortedKeys(oNeg); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d step %d (%v %v): negatives\n got %v\nwant %v\nquery %v",
+					seed, step, up.Op, up.Edge, got, want, q)
+			}
+		}
+	}
+}
+
+func TestStatelessAndCounters(t *testing.T) {
+	q := query.NewGraph(2)
+	_ = q.AddEdge(0, 1, 1)
+	e, err := New(graph.New(), q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.IntermediateSizeBytes() != 0 {
+		t.Fatal("Graphflow must report zero intermediate state")
+	}
+	if n, _ := e.InsertEdge(1, 1, 2); n != 1 {
+		t.Fatalf("insert n=%d", n)
+	}
+	if n, _ := e.InsertEdge(1, 1, 2); n != 0 {
+		t.Fatalf("duplicate insert n=%d", n)
+	}
+	if n, _ := e.DeleteEdge(1, 1, 2); n != 1 {
+		t.Fatalf("delete n=%d", n)
+	}
+	if n, _ := e.DeleteEdge(1, 1, 2); n != 0 {
+		t.Fatalf("double delete n=%d", n)
+	}
+	if e.PositiveCount() != 1 || e.NegativeCount() != 1 {
+		t.Fatalf("counters pos=%d neg=%d", e.PositiveCount(), e.NegativeCount())
+	}
+	if _, err := e.Apply(stream.DeclareVertex(9, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if !e.Graph().HasVertex(9) {
+		t.Fatal("vertex declaration ignored")
+	}
+	if _, err := e.Apply(stream.Update{Op: 99}); err == nil {
+		t.Fatal("unknown op must error")
+	}
+	if _, err := New(graph.New(), query.NewGraph(0), Options{}); err == nil {
+		t.Fatal("invalid query must error")
+	}
+}

@@ -1,0 +1,93 @@
+package harness
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"turboflux/internal/stats"
+)
+
+// CSVSink accumulates experiment rows and writes one CSV file per
+// experiment, for plotting the figures outside the terminal tables.
+// A nil *CSVSink is a no-op, so experiments can emit unconditionally.
+type CSVSink struct {
+	dir  string
+	rows map[string][][]string
+}
+
+// NewCSVSink returns a sink writing into dir (created on Flush).
+func NewCSVSink(dir string) *CSVSink {
+	return &CSVSink{dir: dir, rows: make(map[string][][]string)}
+}
+
+// Add appends one data row for experiment exp. The first Add for an
+// experiment should be preceded by AddHeader.
+func (c *CSVSink) Add(exp string, row ...string) {
+	if c == nil {
+		return
+	}
+	c.rows[exp] = append(c.rows[exp], row)
+}
+
+// AddHeader sets the column header for experiment exp (idempotent: only
+// the first header is kept).
+func (c *CSVSink) AddHeader(exp string, cols ...string) {
+	if c == nil {
+		return
+	}
+	if len(c.rows[exp]) == 0 {
+		c.rows[exp] = append(c.rows[exp], cols)
+	}
+}
+
+// AddSummaries appends one row per engine for a labeled experiment cell.
+func (c *CSVSink) AddSummaries(exp, label string, sums map[Kind]*stats.Summary, kinds []Kind) {
+	if c == nil {
+		return
+	}
+	c.AddHeader(exp, "label", "engine", "mean_cost_ns", "mean_size_bytes", "completed", "timeouts", "matches")
+	for _, k := range kinds {
+		s := sums[k]
+		if s == nil {
+			continue
+		}
+		c.Add(exp, label, k.String(),
+			strconv.FormatInt(int64(s.MeanCost()), 10),
+			strconv.FormatInt(s.MeanSize(), 10),
+			strconv.Itoa(len(s.Costs)),
+			strconv.Itoa(s.Timeouts),
+			strconv.FormatInt(s.TotalMatches(), 10))
+	}
+}
+
+// Flush writes every accumulated experiment to <dir>/<exp>.csv.
+func (c *CSVSink) Flush() error {
+	if c == nil || len(c.rows) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return err
+	}
+	for exp, rows := range c.rows {
+		f, err := os.Create(filepath.Join(c.dir, exp+".csv"))
+		if err != nil {
+			return err
+		}
+		w := csv.NewWriter(f)
+		if err := w.WriteAll(rows); err != nil {
+			f.Close()
+			return err
+		}
+		w.Flush()
+		if err := w.Error(); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"turboflux/internal/query"
+	"turboflux/internal/stream"
+	"turboflux/internal/workload"
+)
+
+func tinyConfig(buf *bytes.Buffer) Config {
+	cfg := DefaultConfig(buf)
+	cfg.Users = 120
+	cfg.Hosts = 300
+	cfg.Triples = 4000
+	cfg.QueriesPerSet = 2
+	cfg.Timeout = time.Second
+	cfg.WorkBudget = 1_000_000
+	cfg.SizeCap = 1 << 24
+	return cfg
+}
+
+// TestRunAllExperiments drives every experiment at miniature scale and
+// checks each banner and at least one data row appears.
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := Run("all", cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 3", "Figure 6", "Figure 7", "Figure 8", "Figure 9",
+		"Figure 10", "Figure 11", "Figure 12", "Figure 13", "Figure 14",
+		"Figure 15", "Figure 16", "Figure 17", "NEC",
+		"tree-3", "graph-6", "TurboFlux",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n--- output ---\n%s", want, out)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", tinyConfig(&buf)); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if err := Run("fig6", Config{}); err == nil {
+		t.Fatal("nil writer must error")
+	}
+}
+
+func TestRunQueryBasics(t *testing.T) {
+	ds := workload.LSBench(workload.LSBenchConfig{Users: 120, StreamFraction: 0.1, Seed: 1})
+	qs := ds.TreeQueries(3, 3, 5)
+	rc := RunConfig{Timeout: time.Second, Engine: EngineOptions{WorkBudget: 1_000_000}}
+	for _, kind := range []Kind{TurboFlux, SJTree, Graphflow} {
+		r := RunQuery(kind, ds, qs[0], rc)
+		if r.TimedOut {
+			t.Fatalf("%v timed out on tiny workload", kind)
+		}
+		if r.Ops != len(ds.Stream) {
+			t.Fatalf("%v applied %d ops, want %d", kind, r.Ops, len(ds.Stream))
+		}
+	}
+	// Engines must agree on total matches for an insert-only stream.
+	tf := RunQuery(TurboFlux, ds, qs[0], rc)
+	sj := RunQuery(SJTree, ds, qs[0], rc)
+	gf := RunQuery(Graphflow, ds, qs[0], rc)
+	if tf.Matches != sj.Matches || tf.Matches != gf.Matches {
+		t.Fatalf("match counts disagree: TF=%d SJ=%d GF=%d", tf.Matches, sj.Matches, gf.Matches)
+	}
+}
+
+// TestEnginesAgreeOnMixedStream cross-checks TurboFlux, Graphflow and
+// IncIsoMat match totals on a stream with deletions at workload scale —
+// the macro-level analogue of the per-update differential tests.
+func TestEnginesAgreeOnMixedStream(t *testing.T) {
+	ds := workload.LSBench(workload.LSBenchConfig{
+		Users: 120, StreamFraction: 0.08, DeletionRate: 0.1, Seed: 2,
+	})
+	qs := ds.TreeQueries(2, 4, 9)
+	rc := RunConfig{Timeout: 5 * time.Second, Engine: EngineOptions{WorkBudget: 5_000_000}}
+	for _, q := range qs {
+		tf := RunQuery(TurboFlux, ds, q, rc)
+		gf := RunQuery(Graphflow, ds, q, rc)
+		if tf.TimedOut || gf.TimedOut {
+			continue
+		}
+		if tf.Matches != gf.Matches {
+			t.Fatalf("TF=%d GF=%d on %v", tf.Matches, gf.Matches, q)
+		}
+	}
+}
+
+func TestRunQueryCensoring(t *testing.T) {
+	ds := workload.Netflow(workload.NetflowConfig{Hosts: 200, Triples: 8000, StreamFraction: 0.2, Seed: 3})
+	qs := ds.TreeQueries(1, 9, 1)
+	// A work budget of 1 censors immediately.
+	r := RunQuery(Graphflow, ds, qs[0], RunConfig{Engine: EngineOptions{WorkBudget: 1}})
+	if !r.TimedOut {
+		t.Fatal("tiny budget must censor the query")
+	}
+	// SJ-Tree tuple cap censors at construction or during replay.
+	r = RunQuery(SJTree, ds, qs[0], RunConfig{Engine: EngineOptions{TupleCap: 8}})
+	if !r.TimedOut {
+		t.Fatal("tiny tuple cap must censor SJ-Tree")
+	}
+}
+
+func TestSelectQueriesFiltersEmpty(t *testing.T) {
+	ds := workload.LSBench(workload.LSBenchConfig{Users: 120, StreamFraction: 0.1, Seed: 1})
+	// A query that cannot match anything: label 99 does not exist.
+	dead := query.NewGraph(2)
+	dead.SetLabels(0, 99)
+	_ = dead.AddEdge(0, workload.EdgeFollows, 1)
+	live := ds.TreeQueries(1, 3, 5)[0]
+	got := selectQueries(ds, []*query.Graph{dead, live}, 2,
+		RunConfig{Timeout: time.Second, Engine: EngineOptions{WorkBudget: 1_000_000}})
+	for _, q := range got {
+		if q == dead {
+			t.Fatal("zero-match query must be filtered")
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if TurboFlux.String() != "TurboFlux" || SJTree.String() != "SJ-Tree" ||
+		Graphflow.String() != "Graphflow" || IncIsoMat.String() != "IncIsoMat" {
+		t.Fatal("Kind names wrong")
+	}
+	if Kind(99).String() != "?" {
+		t.Fatal("unknown kind must render ?")
+	}
+	if _, err := NewEngine(Kind(99), workload.LSBench(workload.LSBenchConfig{Users: 50, Seed: 1}).Graph,
+		nil, EngineOptions{}); err == nil {
+		t.Fatal("unknown kind must error")
+	}
+}
+
+func TestWithDeletionsHelper(t *testing.T) {
+	ins := make([]stream.Update, 50)
+	for i := range ins {
+		ins[i] = stream.Insert(0, 0, 1)
+	}
+	out := withDeletions(ins, 50, 1)
+	dels := 0
+	for _, u := range out {
+		if u.Op == stream.OpDelete {
+			dels++
+		}
+	}
+	if dels == 0 {
+		t.Fatal("no deletions interleaved")
+	}
+	if got := prefixInserts(out, 10); len(got) != 10 {
+		t.Fatalf("prefixInserts = %d", len(got))
+	}
+	for _, u := range prefixInserts(out, 10) {
+		if u.Op != stream.OpInsert {
+			t.Fatal("prefixInserts returned a non-insert")
+		}
+	}
+}

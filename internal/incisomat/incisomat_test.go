@@ -1,0 +1,189 @@
+package incisomat
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/matcher"
+	"turboflux/internal/naive"
+	"turboflux/internal/query"
+	"turboflux/internal/stream"
+)
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func randQuery(rng *rand.Rand, n, extra int) *query.Graph {
+	q := query.NewGraph(n)
+	for u := 0; u < n; u++ {
+		if rng.Intn(3) > 0 {
+			q.SetLabels(graph.VertexID(u), graph.Label(rng.Intn(3)))
+		}
+	}
+	for u := 1; u < n; u++ {
+		p := graph.VertexID(rng.Intn(u))
+		l := graph.Label(rng.Intn(3))
+		if rng.Intn(2) == 0 {
+			_ = q.AddEdge(p, l, graph.VertexID(u))
+		} else {
+			_ = q.AddEdge(graph.VertexID(u), l, p)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		_ = q.AddEdge(graph.VertexID(rng.Intn(n)), graph.Label(rng.Intn(3)), graph.VertexID(rng.Intn(n)))
+	}
+	return q
+}
+
+// TestDifferentialVsNaive: IncIsoMat must report exactly the oracle's
+// deltas on random mixed streams, for both semantics.
+func TestDifferentialVsNaive(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		injective := seed%2 == 1
+		q := randQuery(rng, 3+rng.Intn(3), rng.Intn(3))
+		const nv = 10
+		g0 := graph.New()
+		for v := 0; v < nv; v++ {
+			_ = g0.AddVertex(graph.VertexID(v), graph.Label(rng.Intn(3)))
+		}
+		for i := 0; i < 10; i++ {
+			g0.InsertEdge(graph.VertexID(rng.Intn(nv)), graph.Label(rng.Intn(3)), graph.VertexID(rng.Intn(nv)))
+		}
+		pos, neg := map[string]bool{}, map[string]bool{}
+		eng, err := New(g0.Clone(), q, Options{Injective: injective, OnMatch: func(positive bool, m []graph.VertexID) {
+			k := matcher.Key(m)
+			if positive {
+				pos[k] = true
+			} else {
+				neg[k] = true
+			}
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := naive.New(g0.Clone(), q, injective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live := map[graph.Edge]bool{}
+		g0.ForEachEdge(func(e graph.Edge) { live[e] = true })
+		for step := 0; step < 40; step++ {
+			var up stream.Update
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				es := make([]graph.Edge, 0, len(live))
+				for e := range live {
+					es = append(es, e)
+				}
+				sort.Slice(es, func(i, j int) bool {
+					return es[i].From < es[j].From ||
+						(es[i].From == es[j].From && es[i].To < es[j].To)
+				})
+				e := es[rng.Intn(len(es))]
+				up = stream.Delete(e.From, e.Label, e.To)
+				delete(live, e)
+			} else {
+				e := graph.Edge{
+					From:  graph.VertexID(rng.Intn(nv)),
+					Label: graph.Label(rng.Intn(3)),
+					To:    graph.VertexID(rng.Intn(nv)),
+				}
+				up = stream.Insert(e.From, e.Label, e.To)
+				live[e] = true
+			}
+			pos, neg = map[string]bool{}, map[string]bool{}
+			if _, err := eng.Apply(up); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			oPos, oNeg, err := oracle.Apply(up)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := sortedKeys(pos), sortedKeys(oPos); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d step %d (%v %v): positives\n got %v\nwant %v\nquery %v",
+					seed, step, up.Op, up.Edge, got, want, q)
+			}
+			if got, want := sortedKeys(neg), sortedKeys(oNeg); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d step %d (%v %v): negatives\n got %v\nwant %v\nquery %v",
+					seed, step, up.Op, up.Edge, got, want, q)
+			}
+		}
+	}
+}
+
+func TestExtractPrunesByDistanceAndLabel(t *testing.T) {
+	// Query: u0(1) -0-> u1(2); diameter 1. Vertices further than 1 hop from
+	// the updated edge, and vertices with irrelevant labels, are excluded.
+	q := query.NewGraph(2)
+	q.SetLabels(0, 1)
+	q.SetLabels(1, 2)
+	_ = q.AddEdge(0, 0, 1)
+	g := graph.New()
+	_ = g.AddVertex(0, 1)
+	_ = g.AddVertex(1, 2)
+	_ = g.AddVertex(2, 2) // 1 hop from v1
+	_ = g.AddVertex(3, 2) // 2 hops: outside diameter
+	_ = g.AddVertex(4, 9) // irrelevant label, 1 hop
+	g.InsertEdge(1, 0, 2)
+	g.InsertEdge(2, 0, 3)
+	g.InsertEdge(1, 0, 4)
+	e, err := New(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := e.extract(0, 1)
+	if !sub.HasVertex(0) || !sub.HasVertex(1) || !sub.HasVertex(2) {
+		t.Fatal("subgraph missing in-range vertices")
+	}
+	if sub.HasVertex(3) {
+		t.Fatal("subgraph must exclude vertices beyond the diameter")
+	}
+	if sub.HasVertex(4) {
+		t.Fatal("subgraph must exclude label-irrelevant vertices")
+	}
+}
+
+func TestBasicCounters(t *testing.T) {
+	q := query.NewGraph(2)
+	_ = q.AddEdge(0, 1, 1)
+	e, err := New(graph.New(), q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := e.InsertEdge(5, 1, 6); n != 1 {
+		t.Fatalf("insert n=%d", n)
+	}
+	if n, _ := e.InsertEdge(5, 1, 6); n != 0 {
+		t.Fatalf("duplicate insert n=%d", n)
+	}
+	if n, _ := e.DeleteEdge(5, 1, 6); n != 1 {
+		t.Fatalf("delete n=%d", n)
+	}
+	if n, _ := e.DeleteEdge(5, 1, 6); n != 0 {
+		t.Fatalf("double delete n=%d", n)
+	}
+	if e.PositiveCount() != 1 || e.NegativeCount() != 1 {
+		t.Fatal("counters wrong")
+	}
+	if e.IntermediateSizeBytes() != 0 {
+		t.Fatal("IncIsoMat maintains no state")
+	}
+	if _, err := e.Apply(stream.DeclareVertex(9, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(stream.Update{Op: 99}); err == nil {
+		t.Fatal("unknown op must error")
+	}
+	if _, err := New(graph.New(), query.NewGraph(0), Options{}); err == nil {
+		t.Fatal("invalid query must error")
+	}
+}

@@ -1,0 +1,146 @@
+package matcher
+
+import (
+	"testing"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+)
+
+// diamond data: 0 -a-> 1, 0 -a-> 2, 1 -b-> 3, 2 -b-> 3, plus 3 -c-> 0.
+func diamond() *graph.Graph {
+	g := graph.New()
+	for i := graph.VertexID(0); i < 4; i++ {
+		_ = g.AddVertex(i, graph.Label(i%2)) // labels 0,1,0,1
+	}
+	g.InsertEdge(0, 10, 1)
+	g.InsertEdge(0, 10, 2)
+	g.InsertEdge(1, 11, 3)
+	g.InsertEdge(2, 11, 3)
+	g.InsertEdge(3, 12, 0)
+	return g
+}
+
+func pathQuery() *query.Graph {
+	q := query.NewGraph(3)
+	_ = q.AddEdge(0, 10, 1)
+	_ = q.AddEdge(1, 11, 2)
+	return q
+}
+
+func TestFindAllPath(t *testing.T) {
+	g := diamond()
+	q := pathQuery()
+	n, err := Count(g, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0-a->1-b->3 and 0-a->2-b->3.
+	if n != 2 {
+		t.Fatalf("Count = %d, want 2", n)
+	}
+	set, err := MatchSet(g, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !set["0,1,3"] || !set["0,2,3"] {
+		t.Fatalf("MatchSet = %v", set)
+	}
+}
+
+func TestLabelsConstrain(t *testing.T) {
+	g := diamond()
+	q := pathQuery()
+	q.SetLabels(1, 1) // only data vertex 1 and 3 carry label 1
+	n, err := Count(g, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("Count with label constraint = %d, want 1", n)
+	}
+	q.SetLabels(1, 0, 1) // no vertex has both labels
+	if n, _ := Count(g, q, false); n != 0 {
+		t.Fatalf("Count with impossible constraint = %d, want 0", n)
+	}
+}
+
+func TestCycleQuery(t *testing.T) {
+	g := diamond()
+	// Triangle 0 -a-> u1 -b-> u2 -c-> u0 exists twice (via 1 and via 2).
+	q := query.NewGraph(3)
+	_ = q.AddEdge(0, 10, 1)
+	_ = q.AddEdge(1, 11, 2)
+	_ = q.AddEdge(2, 12, 0)
+	n, err := Count(g, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("cycle Count = %d, want 2", n)
+	}
+}
+
+func TestHomomorphismVsIsomorphism(t *testing.T) {
+	g := graph.New()
+	g.InsertEdge(0, 1, 1)
+	g.InsertEdge(1, 1, 0)
+	// Query path u0 -1-> u1 -1-> u2: homomorphism allows u0 and u2 to both
+	// map to the same data vertex; isomorphism does not.
+	q := query.NewGraph(3)
+	_ = q.AddEdge(0, 1, 1)
+	_ = q.AddEdge(1, 1, 2)
+	hom, _ := Count(g, q, false)
+	iso, _ := Count(g, q, true)
+	if hom != 2 { // 0,1,0 and 1,0,1
+		t.Fatalf("hom Count = %d, want 2", hom)
+	}
+	if iso != 0 {
+		t.Fatalf("iso Count = %d, want 0", iso)
+	}
+}
+
+func TestSelfLoopQuery(t *testing.T) {
+	g := graph.New()
+	g.InsertEdge(5, 1, 5) // data self loop
+	g.InsertEdge(5, 2, 6)
+	q := query.NewGraph(2)
+	_ = q.AddEdge(0, 1, 0) // query self loop on u0
+	_ = q.AddEdge(0, 2, 1)
+	n, err := Count(g, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("self-loop Count = %d, want 1", n)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	g := diamond()
+	q := pathQuery()
+	calls := 0
+	if err := FindAll(g, q, false, func([]graph.VertexID) bool {
+		calls++
+		return false
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("early stop visited %d matches, want 1", calls)
+	}
+}
+
+func TestInvalidQuery(t *testing.T) {
+	g := diamond()
+	q := query.NewGraph(2) // no edges -> disconnected/invalid
+	if _, err := Count(g, q, false); err == nil {
+		t.Fatal("invalid query must error")
+	}
+}
+
+func TestKey(t *testing.T) {
+	if Key([]graph.VertexID{1, 2, 3}) != "1,2,3" {
+		t.Fatalf("Key = %q", Key([]graph.VertexID{1, 2, 3}))
+	}
+}

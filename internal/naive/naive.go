@@ -1,0 +1,67 @@
+// Package naive implements the recompute-from-scratch continuous matching
+// baseline: after every update it re-enumerates all matches and reports
+// the set difference against the previous snapshot. It is hopeless at
+// scale (the paper's motivation, Section 1) and serves as the correctness
+// oracle for every other engine on small inputs.
+package naive
+
+import (
+	"turboflux/internal/graph"
+	"turboflux/internal/matcher"
+	"turboflux/internal/query"
+	"turboflux/internal/stream"
+)
+
+// Engine is the naive continuous matcher. It owns its data graph.
+type Engine struct {
+	g         *graph.Graph
+	q         *query.Graph
+	injective bool
+	prev      map[string]bool
+}
+
+// New builds a naive engine over the initial graph g0. g0 must not be
+// mutated by the caller afterwards.
+func New(g0 *graph.Graph, q *query.Graph, injective bool) (*Engine, error) {
+	prev, err := matcher.MatchSet(g0, q, injective)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{g: g0, q: q, injective: injective, prev: prev}, nil
+}
+
+// InitialMatches returns the matches of the initial graph.
+func (e *Engine) InitialMatches() map[string]bool {
+	out := make(map[string]bool, len(e.prev))
+	for k := range e.prev {
+		out[k] = true
+	}
+	return out
+}
+
+// Apply applies one update and returns the positive and negative match
+// sets it produced (canonical keys per matcher.Key).
+func (e *Engine) Apply(u stream.Update) (pos, neg map[string]bool, err error) {
+	u.Apply(e.g)
+	cur, err := matcher.MatchSet(e.g, e.q, e.injective)
+	if err != nil {
+		return nil, nil, err
+	}
+	pos = make(map[string]bool)
+	neg = make(map[string]bool)
+	for k := range cur {
+		if !e.prev[k] {
+			pos[k] = true
+		}
+	}
+	for k := range e.prev {
+		if !cur[k] {
+			neg[k] = true
+		}
+	}
+	e.prev = cur
+	return pos, neg, nil
+}
+
+// Graph returns the engine's data graph (for assertions in tests).
+func (e *Engine) Graph() *graph.Graph { return e.g }

@@ -1,0 +1,50 @@
+package naive
+
+import (
+	"testing"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+	"turboflux/internal/stream"
+)
+
+func TestNaiveDeltas(t *testing.T) {
+	q := query.NewGraph(3)
+	_ = q.AddEdge(0, 1, 1)
+	_ = q.AddEdge(1, 2, 2)
+	g := graph.New()
+	g.InsertEdge(10, 1, 11)
+	e, err := New(g, q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.InitialMatches()) != 0 {
+		t.Fatal("no initial matches expected")
+	}
+	pos, neg, err := e.Apply(stream.Insert(11, 2, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 1 || len(neg) != 0 {
+		t.Fatalf("pos=%v neg=%v", pos, neg)
+	}
+	if !pos["10,11,12"] {
+		t.Fatalf("pos=%v", pos)
+	}
+	pos, neg, err = e.Apply(stream.Delete(10, 1, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pos) != 0 || len(neg) != 1 || !neg["10,11,12"] {
+		t.Fatalf("pos=%v neg=%v", pos, neg)
+	}
+	if e.Graph().NumEdges() != 1 {
+		t.Fatal("graph not updated")
+	}
+}
+
+func TestNaiveInvalidQuery(t *testing.T) {
+	if _, err := New(graph.New(), query.NewGraph(0), false); err == nil {
+		t.Fatal("invalid query must error")
+	}
+}

@@ -1,0 +1,40 @@
+package qlang
+
+import (
+	"testing"
+
+	"turboflux/internal/graph"
+)
+
+// FuzzParse checks the pattern parser never panics and that accepted
+// patterns always yield structurally valid queries.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"MATCH (a:Person)-[:follows]->(b:Person)",
+		"(a)-[:x]->(b), (b)-[:y]->(c), (c)-[:z]->(a)",
+		"(a)<-[:owns]-(b)",
+		"(a:X|Y)-[:e]->()",
+		"((((",
+		"match",
+		"(a)-[:x]->(a)",
+		"(1)-[:2]->(3)",
+		"(a)-[:x]->(b)-[:x]->(b)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		vd, ed := graph.NewDict(), graph.NewDict()
+		q, names, err := Parse(src, vd, ed)
+		if err != nil {
+			return
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatalf("accepted pattern %q produced invalid query: %v", src, err)
+		}
+		for name, id := range names {
+			if int(id) >= q.NumVertices() {
+				t.Fatalf("name %q maps to out-of-range vertex %d", name, id)
+			}
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package query
+
+import (
+	"sort"
+
+	"turboflux/internal/graph"
+)
+
+// NECCompress applies the NEC (neighborhood equivalence class) query
+// compression of TurboISO [14] in the restricted form that benefits
+// SJ-Tree (Appendix B.5): leaf query vertices with identical label
+// constraints attached to the same neighbor through the same edge label
+// and direction are merged into one representative. It returns the
+// compressed query and whether any merge happened.
+//
+// Match counts over a compressed query differ from the original (each
+// merged class of size k would need its candidate assignments re-expanded
+// k-fold); the B.5 experiment compares maintenance cost and intermediate
+// size, which the compression affects directly.
+func NECCompress(q *Graph) (*Graph, bool) {
+	n := q.NumVertices()
+	deg := make([]int, n)
+	for _, e := range q.Edges() {
+		deg[e.From]++
+		deg[e.To]++
+	}
+	type classKey struct {
+		neighbor graph.VertexID
+		label    graph.Label
+		forward  bool // true: neighbor -> leaf
+		sig      string
+	}
+	classes := make(map[classKey][]graph.VertexID)
+	for u := 0; u < n; u++ {
+		if deg[u] != 1 {
+			continue
+		}
+		// The single incident edge of the leaf.
+		ei := q.IncidentEdges(graph.VertexID(u))[0]
+		e := q.Edge(ei)
+		var key classKey
+		if e.From == graph.VertexID(u) {
+			key = classKey{neighbor: e.To, label: e.Label, forward: false}
+		} else {
+			key = classKey{neighbor: e.From, label: e.Label, forward: true}
+		}
+		key.sig = labelSig(q.Labels(graph.VertexID(u)))
+		classes[key] = append(classes[key], graph.VertexID(u))
+	}
+	drop := make(map[graph.VertexID]bool)
+	for _, members := range classes {
+		if len(members) < 2 {
+			continue
+		}
+		sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+		for _, u := range members[1:] {
+			drop[u] = true
+		}
+	}
+	if len(drop) == 0 {
+		return q, false
+	}
+	remap := make([]graph.VertexID, n)
+	kept := 0
+	for u := 0; u < n; u++ {
+		if drop[graph.VertexID(u)] {
+			remap[u] = graph.NoVertex
+			continue
+		}
+		remap[u] = graph.VertexID(kept)
+		kept++
+	}
+	c := NewGraph(kept)
+	for u := 0; u < n; u++ {
+		if remap[u] != graph.NoVertex {
+			c.SetLabels(remap[u], q.Labels(graph.VertexID(u))...)
+		}
+	}
+	for _, e := range q.Edges() {
+		if drop[e.From] || drop[e.To] {
+			continue
+		}
+		// Duplicate edges cannot arise: dropped leaves own their edges.
+		if err := c.AddEdge(remap[e.From], e.Label, remap[e.To]); err != nil {
+			return q, false
+		}
+	}
+	if c.Validate() != nil {
+		return q, false
+	}
+	return c, true
+}
+
+func labelSig(ls []graph.Label) string {
+	b := make([]byte, 0, len(ls)*3)
+	for _, l := range ls {
+		b = append(b, byte(l), byte(l>>8), ',')
+	}
+	return string(b)
+}

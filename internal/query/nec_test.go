@@ -1,0 +1,90 @@
+package query
+
+import (
+	"testing"
+
+	"turboflux/internal/graph"
+)
+
+func TestNECCompressMergesEquivalentLeaves(t *testing.T) {
+	// u0 with three equivalent leaves: u1, u2, u3 all (label 5) reached via
+	// edge label 7 from u0, plus one non-equivalent leaf u4.
+	q := NewGraph(5)
+	q.SetLabels(0, 1)
+	for _, u := range []graph.VertexID{1, 2, 3} {
+		q.SetLabels(u, 5)
+		if err := q.AddEdge(0, 7, u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.SetLabels(4, 6)
+	if err := q.AddEdge(0, 7, 4); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := NECCompress(q)
+	if !ok {
+		t.Fatal("expected compression")
+	}
+	if c.NumVertices() != 3 { // u0, one representative leaf, u4
+		t.Fatalf("compressed to %d vertices, want 3", c.NumVertices())
+	}
+	if c.NumEdges() != 2 {
+		t.Fatalf("compressed to %d edges, want 2", c.NumEdges())
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNECCompressDirectionMatters(t *testing.T) {
+	// Leaves with the same label but opposite edge directions must not
+	// merge.
+	q := NewGraph(3)
+	q.SetLabels(1, 5)
+	q.SetLabels(2, 5)
+	_ = q.AddEdge(0, 7, 1)
+	_ = q.AddEdge(2, 7, 0)
+	if _, ok := NECCompress(q); ok {
+		t.Fatal("opposite-direction leaves must not merge")
+	}
+}
+
+func TestNECCompressLabelMatters(t *testing.T) {
+	q := NewGraph(3)
+	q.SetLabels(1, 5)
+	q.SetLabels(2, 6)
+	_ = q.AddEdge(0, 7, 1)
+	_ = q.AddEdge(0, 7, 2)
+	if _, ok := NECCompress(q); ok {
+		t.Fatal("differently-labeled leaves must not merge")
+	}
+}
+
+func TestNECCompressNoOp(t *testing.T) {
+	q := fixtureQuery() // a path: no equivalent leaves
+	c, ok := NECCompress(q)
+	if ok {
+		t.Fatal("path query must not compress")
+	}
+	if c != q {
+		t.Fatal("no-op compression must return the original")
+	}
+}
+
+func TestNECCompressPreservesNonLeafStructure(t *testing.T) {
+	// Two equivalent leaves hanging off the middle of a path.
+	q := NewGraph(5)
+	_ = q.AddEdge(0, 1, 1)
+	_ = q.AddEdge(1, 2, 2)
+	q.SetLabels(3, 9)
+	q.SetLabels(4, 9)
+	_ = q.AddEdge(1, 8, 3)
+	_ = q.AddEdge(1, 8, 4)
+	c, ok := NECCompress(q)
+	if !ok {
+		t.Fatal("expected compression")
+	}
+	if c.NumVertices() != 4 || c.NumEdges() != 3 {
+		t.Fatalf("compressed shape %d/%d, want 4 vertices / 3 edges", c.NumVertices(), c.NumEdges())
+	}
+}

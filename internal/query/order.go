@@ -1,0 +1,69 @@
+package query
+
+import "turboflux/internal/graph"
+
+// DetermineMatchingOrder computes a matching order over the query tree:
+// a root-first sequence in which every parent precedes its children and,
+// among the available frontier vertices, the one with the smallest
+// estimated partial-solution count is matched first.
+//
+// The paper derives the order by greedily shrinking q' one leaf edge at a
+// time, each step removing the edge that minimizes the partial-solution
+// count of the shrunk tree; under a multiplicative fan-out model that is
+// equivalent to this frontier-greedy construction (most selective subtree
+// first), which is what we implement. cost(u) supplies the per-vertex
+// estimate — the engine passes the number of explicit DCG edges labeled u,
+// i.e. the exact count of explicit data paths ending at u.
+func DetermineMatchingOrder(t *Tree, cost func(u graph.VertexID) float64) []graph.VertexID {
+	n := t.Q.NumVertices()
+	order := make([]graph.VertexID, 0, n)
+	order = append(order, t.Root)
+	frontier := append([]graph.VertexID(nil), t.Children[t.Root]...)
+	for len(frontier) > 0 {
+		best := 0
+		bestCost := cost(frontier[0])
+		for i := 1; i < len(frontier); i++ {
+			if c := cost(frontier[i]); c < bestCost {
+				best, bestCost = i, c
+			}
+		}
+		u := frontier[best]
+		frontier[best] = frontier[len(frontier)-1]
+		frontier = frontier[:len(frontier)-1]
+		order = append(order, u)
+		frontier = append(frontier, t.Children[u]...)
+	}
+	return order
+}
+
+// ValidOrder reports whether order is a permutation of the query vertices
+// in which every parent precedes its children. Used in tests and as a
+// defensive check when a caller supplies a custom order.
+func ValidOrder(t *Tree, order []graph.VertexID) bool {
+	n := t.Q.NumVertices()
+	if len(order) != n {
+		return false
+	}
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	for i, u := range order {
+		if int(u) >= n || pos[u] != -1 {
+			return false
+		}
+		pos[u] = i
+	}
+	if order[0] != t.Root {
+		return false
+	}
+	for u := 0; u < n; u++ {
+		if graph.VertexID(u) == t.Root {
+			continue
+		}
+		if pos[t.ParentEdge[u].Parent] > pos[u] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,191 @@
+// Package query models query graphs and their spanning-tree form.
+//
+// A query graph is a small directed labeled graph whose vertices carry
+// label-set constraints. TurboFlux converts a query graph q into a query
+// tree q' rooted at a starting query vertex u_s (Section 3.1 of the paper);
+// the edges of q not selected for the tree become non-tree edges that are
+// checked during SubgraphSearch.
+package query
+
+import (
+	"fmt"
+	"sort"
+
+	"turboflux/internal/graph"
+)
+
+// Graph is a query graph. Query vertex IDs are dense: 0 .. NumVertices-1.
+type Graph struct {
+	labels [][]graph.Label
+	edges  []graph.Edge // From/To are query vertex IDs; Label is the edge label
+	adj    [][]int      // vertex -> indices into edges touching it (both directions)
+}
+
+// NewGraph returns a query graph with n unconstrained vertices.
+func NewGraph(n int) *Graph {
+	return &Graph{
+		labels: make([][]graph.Label, n),
+		adj:    make([][]int, n),
+	}
+}
+
+// NumVertices reports the number of query vertices.
+func (q *Graph) NumVertices() int { return len(q.labels) }
+
+// NumEdges reports the number of query edges.
+func (q *Graph) NumEdges() int { return len(q.edges) }
+
+// SetLabels sets the label constraint of query vertex u. Labels are sorted
+// and deduplicated; an empty set matches any data vertex.
+func (q *Graph) SetLabels(u graph.VertexID, labels ...graph.Label) {
+	ls := append([]graph.Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	w := 0
+	for i, l := range ls {
+		if i == 0 || l != ls[i-1] {
+			ls[w] = l
+			w++
+		}
+	}
+	q.labels[u] = ls[:w]
+}
+
+// Labels returns the label constraint of u. The slice must not be mutated.
+func (q *Graph) Labels(u graph.VertexID) []graph.Label { return q.labels[u] }
+
+// AddEdge adds directed query edge (u, l, u'). Duplicate edges (same
+// endpoints and label) are rejected so that the total order over query
+// edges is well defined.
+func (q *Graph) AddEdge(u graph.VertexID, l graph.Label, u2 graph.VertexID) error {
+	if int(u) >= len(q.labels) || int(u2) >= len(q.labels) {
+		return fmt.Errorf("query: edge (%d,%d,%d) references unknown vertex", u, l, u2)
+	}
+	e := graph.Edge{From: u, Label: l, To: u2}
+	for _, ex := range q.edges {
+		if ex == e {
+			return fmt.Errorf("query: duplicate edge %v", e)
+		}
+	}
+	idx := len(q.edges)
+	q.edges = append(q.edges, e)
+	q.adj[u] = append(q.adj[u], idx)
+	if u2 != u {
+		q.adj[u2] = append(q.adj[u2], idx)
+	}
+	return nil
+}
+
+// Edge returns the i-th query edge. The index i is also the edge's position
+// in the total order used for duplicate-result avoidance.
+func (q *Graph) Edge(i int) graph.Edge { return q.edges[i] }
+
+// Edges returns all query edges in total order. Must not be mutated.
+func (q *Graph) Edges() []graph.Edge { return q.edges }
+
+// EdgeIndex returns the total-order index of e, or -1 if e is not a query
+// edge.
+func (q *Graph) EdgeIndex(e graph.Edge) int {
+	for i, ex := range q.edges {
+		if ex == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// IncidentEdges returns the indices of edges incident to u (either
+// direction). Must not be mutated.
+func (q *Graph) IncidentEdges(u graph.VertexID) []int { return q.adj[u] }
+
+// Validate checks that the query is non-empty and weakly connected; every
+// engine in this repository requires a connected query.
+func (q *Graph) Validate() error {
+	n := q.NumVertices()
+	if n == 0 {
+		return fmt.Errorf("query: empty query")
+	}
+	if n == 1 {
+		if len(q.edges) == 0 {
+			return fmt.Errorf("query: single-vertex queries without edges are not supported")
+		}
+		return nil
+	}
+	seen := make([]bool, n)
+	stack := []graph.VertexID{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range q.adj[u] {
+			e := q.edges[ei]
+			for _, nb := range [2]graph.VertexID{e.From, e.To} {
+				if !seen[nb] {
+					seen[nb] = true
+					cnt++
+					stack = append(stack, nb)
+				}
+			}
+		}
+	}
+	if cnt != n {
+		return fmt.Errorf("query: graph is disconnected (%d of %d vertices reachable)", cnt, n)
+	}
+	return nil
+}
+
+// Diameter returns the length of the longest shortest path in q, treating
+// edges as undirected. IncIsoMat uses this to bound the affected subgraph.
+func (q *Graph) Diameter() int {
+	n := q.NumVertices()
+	diam := 0
+	dist := make([]int, n)
+	queue := make([]graph.VertexID, 0, n)
+	for s := 0; s < n; s++ {
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue = append(queue[:0], graph.VertexID(s))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, ei := range q.adj[u] {
+				e := q.edges[ei]
+				for _, nb := range [2]graph.VertexID{e.From, e.To} {
+					if dist[nb] == -1 {
+						dist[nb] = dist[u] + 1
+						if dist[nb] > diam {
+							diam = dist[nb]
+						}
+						queue = append(queue, nb)
+					}
+				}
+			}
+		}
+	}
+	return diam
+}
+
+// Clone returns a deep copy of q.
+func (q *Graph) Clone() *Graph {
+	c := NewGraph(q.NumVertices())
+	for u, ls := range q.labels {
+		c.labels[u] = append([]graph.Label(nil), ls...)
+	}
+	c.edges = append([]graph.Edge(nil), q.edges...)
+	for u, a := range q.adj {
+		c.adj[u] = append([]int(nil), a...)
+	}
+	return c
+}
+
+// String renders the query in a compact single-line form, mainly for test
+// failure messages.
+func (q *Graph) String() string {
+	s := fmt.Sprintf("q{n=%d", q.NumVertices())
+	for _, e := range q.edges {
+		s += fmt.Sprintf(" %d-%d->%d", e.From, e.Label, e.To)
+	}
+	return s + "}"
+}

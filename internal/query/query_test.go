@@ -1,0 +1,267 @@
+package query
+
+import (
+	"testing"
+
+	"turboflux/internal/graph"
+)
+
+// Labels used by the test fixtures.
+const (
+	lA graph.Label = iota
+	lB
+	lC
+	lD
+)
+
+const (
+	eX graph.Label = iota // edge labels
+	eY
+	eZ
+)
+
+// fixtureData builds a small data graph:
+//
+//	one A-vertex (0) fanning out via eX to 50 B-vertices (1..50);
+//	each B-vertex connects via eY to the single C-vertex 100;
+//	C connects via eZ to the single D-vertex 200.
+func fixtureData() *graph.Graph {
+	g := graph.New()
+	_ = g.AddVertex(0, lA)
+	_ = g.AddVertex(100, lC)
+	_ = g.AddVertex(200, lD)
+	for i := graph.VertexID(1); i <= 50; i++ {
+		_ = g.AddVertex(i, lB)
+		g.InsertEdge(0, eX, i)
+		g.InsertEdge(i, eY, 100)
+	}
+	g.InsertEdge(100, eZ, 200)
+	return g
+}
+
+// fixtureQuery: u0(A) -x-> u1(B) -y-> u2(C) -z-> u3(D).
+func fixtureQuery() *Graph {
+	q := NewGraph(4)
+	q.SetLabels(0, lA)
+	q.SetLabels(1, lB)
+	q.SetLabels(2, lC)
+	q.SetLabels(3, lD)
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(q.AddEdge(0, eX, 1))
+	must(q.AddEdge(1, eY, 2))
+	must(q.AddEdge(2, eZ, 3))
+	return q
+}
+
+func TestValidate(t *testing.T) {
+	q := fixtureQuery()
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	dis := NewGraph(3)
+	_ = dis.AddEdge(0, eX, 1) // vertex 2 unreachable
+	if err := dis.Validate(); err == nil {
+		t.Fatal("disconnected query must fail validation")
+	}
+	if err := NewGraph(0).Validate(); err == nil {
+		t.Fatal("empty query must fail validation")
+	}
+	if err := NewGraph(1).Validate(); err == nil {
+		t.Fatal("single vertex without edges must fail validation")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	q := NewGraph(2)
+	if err := q.AddEdge(0, eX, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddEdge(0, eX, 1); err == nil {
+		t.Fatal("duplicate edge must be rejected")
+	}
+	if err := q.AddEdge(0, eX, 5); err == nil {
+		t.Fatal("edge to unknown vertex must be rejected")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	q := fixtureQuery() // path of 4 vertices -> diameter 3
+	if d := q.Diameter(); d != 3 {
+		t.Fatalf("Diameter = %d, want 3", d)
+	}
+	tri := NewGraph(3)
+	_ = tri.AddEdge(0, eX, 1)
+	_ = tri.AddEdge(1, eX, 2)
+	_ = tri.AddEdge(2, eX, 0)
+	if d := tri.Diameter(); d != 1 {
+		t.Fatalf("triangle Diameter = %d, want 1", d)
+	}
+}
+
+func TestEstimateEdgeMatches(t *testing.T) {
+	g := fixtureData()
+	q := fixtureQuery()
+	// (u0 A) -x-> (u1 B): exactly 50 data edges.
+	got := EstimateEdgeMatches(g, q.Labels(0), eX, q.Labels(1))
+	if got != 50 {
+		t.Fatalf("estimate A-x->B = %v, want 50", got)
+	}
+	// (u2 C) -z-> (u3 D): exactly 1.
+	if got := EstimateEdgeMatches(g, q.Labels(2), eZ, q.Labels(3)); got != 1 {
+		t.Fatalf("estimate C-z->D = %v, want 1", got)
+	}
+	// unconstrained endpoints fall back to the per-label edge count.
+	if got := EstimateEdgeMatches(g, nil, eY, nil); got != 50 {
+		t.Fatalf("estimate *-y->* = %v, want 50", got)
+	}
+	// no matching endpoints at all.
+	if got := EstimateEdgeMatches(g, []graph.Label{lD}, eX, []graph.Label{lA}); got != 0 {
+		t.Fatalf("estimate D-x->A = %v, want 0", got)
+	}
+}
+
+func TestChooseStartQVertex(t *testing.T) {
+	g := fixtureData()
+	q := fixtureQuery()
+	// The most selective edge is (u2, z, u3) with exactly 1 match; both
+	// endpoints have 1 matching vertex; u2 has larger degree (2 vs 1).
+	if us := ChooseStartQVertex(q, g); us != 2 {
+		t.Fatalf("ChooseStartQVertex = %d, want 2", us)
+	}
+}
+
+func TestTransformToTreePath(t *testing.T) {
+	g := fixtureData()
+	q := fixtureQuery()
+	tr, err := TransformToTree(q, 2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root != 2 {
+		t.Fatalf("root = %d, want 2", tr.Root)
+	}
+	// Path query: all 3 edges must be tree edges, none non-tree.
+	if len(tr.NonTree) != 0 {
+		t.Fatalf("NonTree = %v, want empty", tr.NonTree)
+	}
+	// u2's parent is NoVertex; u1's parent is u2 via reversed edge (u1->u2).
+	if tr.Parent(2) != graph.NoVertex {
+		t.Fatal("root must have no parent")
+	}
+	pe := tr.ParentEdge[1]
+	if pe.Parent != 2 || pe.Forward {
+		t.Fatalf("u1 parent edge = %+v, want parent 2, reversed", pe)
+	}
+	if pe.QueryEdge() != (graph.Edge{From: 1, Label: eY, To: 2}) {
+		t.Fatalf("QueryEdge round trip = %v", pe.QueryEdge())
+	}
+	if tr.Depth[2] != 0 || tr.Depth[1] != 1 || tr.Depth[0] != 2 || tr.Depth[3] != 1 {
+		t.Fatalf("depths = %v", tr.Depth)
+	}
+	pre := tr.VerticesPreorder()
+	if len(pre) != 4 || pre[0] != 2 {
+		t.Fatalf("preorder = %v", pre)
+	}
+}
+
+func TestTransformToTreeCycle(t *testing.T) {
+	g := fixtureData()
+	// Triangle query u0(A)-x->u1(B), u1-y->u2(C), u0-?->u2: use eX for the
+	// closing edge so the cycle exists structurally.
+	q := NewGraph(3)
+	q.SetLabels(0, lA)
+	q.SetLabels(1, lB)
+	q.SetLabels(2, lC)
+	_ = q.AddEdge(0, eX, 1)
+	_ = q.AddEdge(1, eY, 2)
+	_ = q.AddEdge(0, eZ, 2)
+	tr, err := TransformToTree(q, 0, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.NonTree) != 1 {
+		t.Fatalf("NonTree count = %d, want 1", len(tr.NonTree))
+	}
+	nt := tr.NonTree[0]
+	if tr.IsTreeEdge(nt) {
+		t.Fatal("IsTreeEdge must be false for the non-tree edge")
+	}
+	e := q.Edge(nt)
+	found := false
+	for _, i := range tr.NonTreeAt[e.From] {
+		if i == nt {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("NonTreeAt must index the non-tree edge at its endpoints")
+	}
+	// Tree must span all 3 vertices.
+	if tr.Parent(1) == graph.NoVertex && tr.Parent(2) == graph.NoVertex {
+		t.Fatal("tree does not span the query")
+	}
+}
+
+func TestDetermineMatchingOrder(t *testing.T) {
+	g := fixtureData()
+	q := fixtureQuery()
+	tr, err := TransformToTree(q, 2, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cost: u3 cheap (1), u1 expensive (50), u0 cheap once u1 matched.
+	cost := func(u graph.VertexID) float64 {
+		switch u {
+		case 3:
+			return 1
+		case 1:
+			return 50
+		default:
+			return 10
+		}
+	}
+	order := DetermineMatchingOrder(tr, cost)
+	if !ValidOrder(tr, order) {
+		t.Fatalf("order %v invalid", order)
+	}
+	if order[0] != 2 || order[1] != 3 {
+		t.Fatalf("order = %v; cheap child u3 should be matched before u1", order)
+	}
+}
+
+func TestValidOrder(t *testing.T) {
+	g := fixtureData()
+	q := fixtureQuery()
+	tr, _ := TransformToTree(q, 2, g)
+	if ValidOrder(tr, []graph.VertexID{2, 3}) {
+		t.Fatal("short order must be invalid")
+	}
+	if ValidOrder(tr, []graph.VertexID{3, 2, 1, 0}) {
+		t.Fatal("order not starting at root must be invalid")
+	}
+	if ValidOrder(tr, []graph.VertexID{2, 0, 1, 3}) {
+		t.Fatal("child before parent must be invalid")
+	}
+	if ValidOrder(tr, []graph.VertexID{2, 2, 1, 0}) {
+		t.Fatal("repeated vertex must be invalid")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	q := fixtureQuery()
+	c := q.Clone()
+	_ = c.AddEdge(3, eX, 0)
+	if q.NumEdges() == c.NumEdges() {
+		t.Fatal("clone mutation leaked into original")
+	}
+	if q.EdgeIndex(graph.Edge{From: 0, Label: eX, To: 1}) != 0 {
+		t.Fatal("EdgeIndex broken")
+	}
+	if q.EdgeIndex(graph.Edge{From: 3, Label: eX, To: 0}) != -1 {
+		t.Fatal("EdgeIndex of absent edge must be -1")
+	}
+}

@@ -1,0 +1,155 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"turboflux/internal/graph"
+)
+
+// randConnectedQuery builds a random connected query from a seed.
+func randConnectedQuery(seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := 2 + rng.Intn(6)
+	q := NewGraph(n)
+	for u := 0; u < n; u++ {
+		if rng.Intn(2) == 0 {
+			q.SetLabels(graph.VertexID(u), graph.Label(rng.Intn(4)))
+		}
+	}
+	for u := 1; u < n; u++ {
+		p := graph.VertexID(rng.Intn(u))
+		if rng.Intn(2) == 0 {
+			_ = q.AddEdge(p, graph.Label(rng.Intn(3)), graph.VertexID(u))
+		} else {
+			_ = q.AddEdge(graph.VertexID(u), graph.Label(rng.Intn(3)), p)
+		}
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		_ = q.AddEdge(graph.VertexID(rng.Intn(n)), graph.Label(rng.Intn(3)), graph.VertexID(rng.Intn(n)))
+	}
+	return q
+}
+
+// TestQuickTreeSpansQuery: for any connected query and any root, the
+// spanning tree covers every vertex exactly once, tree depth increases by
+// one along parent edges, and tree+non-tree edges partition the query's
+// edge set.
+func TestQuickTreeSpansQuery(t *testing.T) {
+	g := fixtureData()
+	f := func(seed int64) bool {
+		q := randConnectedQuery(seed)
+		root := graph.VertexID(int(seed>>8&0xff) % q.NumVertices())
+		tr, err := TransformToTree(q, root, g)
+		if err != nil {
+			return false
+		}
+		// Every non-root vertex has a parent; depths are consistent.
+		seen := 1
+		for u := 0; u < q.NumVertices(); u++ {
+			uv := graph.VertexID(u)
+			if uv == root {
+				if tr.Parent(uv) != graph.NoVertex || tr.Depth[u] != 0 {
+					return false
+				}
+				continue
+			}
+			p := tr.Parent(uv)
+			if p == graph.NoVertex || tr.Depth[u] != tr.Depth[p]+1 {
+				return false
+			}
+			seen++
+		}
+		if seen != q.NumVertices() {
+			return false
+		}
+		// Partition: tree edges + non-tree edges = all edges, no overlap.
+		used := make([]bool, q.NumEdges())
+		treeCount := 0
+		for u := 0; u < q.NumVertices(); u++ {
+			if graph.VertexID(u) == root {
+				continue
+			}
+			idx := tr.ParentEdge[u].Index
+			if used[idx] {
+				return false
+			}
+			used[idx] = true
+			treeCount++
+			// The tree edge must be the query edge it claims to be.
+			if tr.ParentEdge[u].QueryEdge() != q.Edge(idx) {
+				return false
+			}
+		}
+		for _, nt := range tr.NonTree {
+			if used[nt] {
+				return false
+			}
+			used[nt] = true
+		}
+		for _, u := range used {
+			if !u {
+				return false
+			}
+		}
+		return treeCount == q.NumVertices()-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMatchingOrderValid: DetermineMatchingOrder always yields a
+// valid parent-first permutation regardless of the cost function.
+func TestQuickMatchingOrderValid(t *testing.T) {
+	g := fixtureData()
+	f := func(seed int64, costSeed int64) bool {
+		q := randConnectedQuery(seed)
+		tr, err := TransformToTree(q, 0, g)
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(costSeed))
+		costs := make([]float64, q.NumVertices())
+		for i := range costs {
+			costs[i] = rng.Float64() * 100
+		}
+		order := DetermineMatchingOrder(tr, func(u graph.VertexID) float64 {
+			return costs[u]
+		})
+		return ValidOrder(tr, order)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNECCompressValid: compression output is always a valid
+// connected query with no more vertices/edges than the input.
+func TestQuickNECCompressValid(t *testing.T) {
+	f := func(seed int64) bool {
+		q := randConnectedQuery(seed)
+		c, _ := NECCompress(q)
+		if c.Validate() != nil {
+			return false
+		}
+		return c.NumVertices() <= q.NumVertices() && c.NumEdges() <= q.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDiameterBounds: 1 <= diameter <= |V|-1 for connected queries
+// with at least one edge.
+func TestQuickDiameterBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		q := randConnectedQuery(seed)
+		d := q.Diameter()
+		return d >= 1 && d <= q.NumVertices()-1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,271 @@
+package query
+
+import (
+	"fmt"
+
+	"turboflux/internal/graph"
+)
+
+// TreeEdge describes the tree edge between a child query vertex and its
+// parent in q'. Forward reports the orientation of the underlying query
+// edge: true when the original edge is Parent --Label--> Child, false when
+// it is Child --Label--> Parent. All "(u,u') matches (v,v')" checks in the
+// engines respect this orientation.
+type TreeEdge struct {
+	Parent  graph.VertexID
+	Child   graph.VertexID
+	Label   graph.Label
+	Forward bool
+	// Index is the total-order index of the underlying query edge.
+	Index int
+}
+
+// QueryEdge returns the underlying directed query edge.
+func (te TreeEdge) QueryEdge() graph.Edge {
+	if te.Forward {
+		return graph.Edge{From: te.Parent, Label: te.Label, To: te.Child}
+	}
+	return graph.Edge{From: te.Child, Label: te.Label, To: te.Parent}
+}
+
+// Tree is the query tree q' obtained by TransformToTree, plus the non-tree
+// edges of q.
+type Tree struct {
+	Q    *Graph
+	Root graph.VertexID // u_s
+
+	// ParentEdge[u] is the tree edge connecting u to its parent; the root's
+	// entry has Parent == graph.NoVertex and is otherwise zero.
+	ParentEdge []TreeEdge
+	// Children[u] lists u's child query vertices in insertion order.
+	Children [][]graph.VertexID
+	// NonTree lists the query edges of q not selected for the tree, as
+	// total-order indices into Q.Edges().
+	NonTree []int
+	// NonTreeAt[u] lists the non-tree edge indices incident to u.
+	NonTreeAt [][]int
+	// Depth[u] is the tree depth of u (root = 0).
+	Depth []int
+}
+
+// Parent returns the parent of u, or graph.NoVertex for the root.
+func (t *Tree) Parent(u graph.VertexID) graph.VertexID {
+	if u == t.Root {
+		return graph.NoVertex
+	}
+	return t.ParentEdge[u].Parent
+}
+
+// Selectivity estimation -----------------------------------------------------
+
+// estimateSampleCap bounds how many candidate vertices the cardinality
+// estimator inspects per query edge. Estimation runs only at engine
+// initialization and on matching-order adjustment, never per update.
+const estimateSampleCap = 512
+
+// EstimateEdgeMatches estimates how many data edges of g match the directed
+// query edge (uFrom --l--> uTo) whose endpoints carry the given label
+// constraints. Exact when a constrained endpoint has at most
+// estimateSampleCap candidates; otherwise a scaled sample.
+func EstimateEdgeMatches(g *graph.Graph, fromLabels []graph.Label, l graph.Label, toLabels []graph.Label) float64 {
+	if len(fromLabels) == 0 && len(toLabels) == 0 {
+		return float64(g.EdgeCount(l))
+	}
+	// Pick the constrained endpoint with the fewest candidates and count its
+	// incident label-l edges whose other endpoint satisfies the opposite
+	// constraint.
+	fromCand, toCand := -1, -1
+	if len(fromLabels) > 0 {
+		fromCand = candidateCount(g, fromLabels)
+	}
+	if len(toLabels) > 0 {
+		toCand = candidateCount(g, toLabels)
+	}
+	useFrom := toCand < 0 || (fromCand >= 0 && fromCand <= toCand)
+	if useFrom {
+		return sampleCount(g, fromLabels, func(v graph.VertexID) int {
+			n := 0
+			for _, w := range g.OutNeighbors(v, l) {
+				if g.HasAllLabels(w, toLabels) {
+					n++
+				}
+			}
+			return n
+		})
+	}
+	return sampleCount(g, toLabels, func(v graph.VertexID) int {
+		n := 0
+		for _, w := range g.InNeighbors(v, l) {
+			if g.HasAllLabels(w, fromLabels) {
+				n++
+			}
+		}
+		return n
+	})
+}
+
+func candidateCount(g *graph.Graph, labels []graph.Label) int {
+	rare := labels[0]
+	for _, l := range labels[1:] {
+		if len(g.VerticesWithLabel(l)) < len(g.VerticesWithLabel(rare)) {
+			rare = l
+		}
+	}
+	return len(g.VerticesWithLabel(rare))
+}
+
+func sampleCount(g *graph.Graph, labels []graph.Label, per func(graph.VertexID) int) float64 {
+	rare := labels[0]
+	for _, l := range labels[1:] {
+		if len(g.VerticesWithLabel(l)) < len(g.VerticesWithLabel(rare)) {
+			rare = l
+		}
+	}
+	cands := g.VerticesWithLabel(rare)
+	if len(cands) == 0 {
+		return 0
+	}
+	limit := len(cands)
+	if limit > estimateSampleCap {
+		limit = estimateSampleCap
+	}
+	total := 0
+	for _, v := range cands[:limit] {
+		if !g.HasAllLabels(v, labels) {
+			continue
+		}
+		total += per(v)
+	}
+	return float64(total) * float64(len(cands)) / float64(limit)
+}
+
+// ChooseStartQVertex picks the starting query vertex u_s per Section 4.1:
+// take the query edge with the fewest matching data edges; between its two
+// endpoints pick the one with fewer matching data vertices; break ties by
+// larger query-vertex degree.
+func ChooseStartQVertex(q *Graph, g *graph.Graph) graph.VertexID {
+	bestEdge := 0
+	bestCost := -1.0
+	for i, e := range q.Edges() {
+		c := EstimateEdgeMatches(g, q.Labels(e.From), e.Label, q.Labels(e.To))
+		if bestCost < 0 || c < bestCost {
+			bestCost = c
+			bestEdge = i
+		}
+	}
+	e := q.Edge(bestEdge)
+	fromV := g.CountVerticesWithLabels(q.Labels(e.From))
+	toV := g.CountVerticesWithLabels(q.Labels(e.To))
+	switch {
+	case fromV < toV:
+		return e.From
+	case toV < fromV:
+		return e.To
+	case len(q.IncidentEdges(e.From)) >= len(q.IncidentEdges(e.To)):
+		return e.From
+	default:
+		return e.To
+	}
+}
+
+// TransformToTree converts q into the query tree q' rooted at us. The tree
+// is grown greedily: at each step the frontier query edge with the smallest
+// estimated number of matching data edges is attached (the "most selective
+// tree" heuristic of Section 4.1). Query edges connecting two already-
+// attached vertices become non-tree edges.
+func TransformToTree(q *Graph, us graph.VertexID, g *graph.Graph) (*Tree, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	n := q.NumVertices()
+	t := &Tree{
+		Q:          q,
+		Root:       us,
+		ParentEdge: make([]TreeEdge, n),
+		Children:   make([][]graph.VertexID, n),
+		NonTreeAt:  make([][]int, n),
+		Depth:      make([]int, n),
+	}
+	for u := range t.ParentEdge {
+		t.ParentEdge[u].Parent = graph.NoVertex
+	}
+	inTree := make([]bool, n)
+	inTree[us] = true
+	usedEdge := make([]bool, q.NumEdges())
+
+	for attached := 1; attached < n; attached++ {
+		bestEdge, bestChild := -1, graph.NoVertex
+		var bestParent graph.VertexID
+		bestForward := false
+		bestCost := 0.0
+		for i, e := range q.Edges() {
+			if usedEdge[i] {
+				continue
+			}
+			var parent, child graph.VertexID
+			var forward bool
+			switch {
+			case inTree[e.From] && !inTree[e.To]:
+				parent, child, forward = e.From, e.To, true
+			case inTree[e.To] && !inTree[e.From]:
+				parent, child, forward = e.To, e.From, false
+			default:
+				continue
+			}
+			c := EstimateEdgeMatches(g, q.Labels(e.From), e.Label, q.Labels(e.To))
+			if bestEdge < 0 || c < bestCost {
+				bestEdge, bestChild, bestParent, bestForward, bestCost = i, child, parent, forward, c
+			}
+		}
+		if bestEdge < 0 {
+			return nil, fmt.Errorf("query: cannot grow tree from vertex %d (query disconnected?)", us)
+		}
+		usedEdge[bestEdge] = true
+		inTree[bestChild] = true
+		e := q.Edge(bestEdge)
+		t.ParentEdge[bestChild] = TreeEdge{
+			Parent:  bestParent,
+			Child:   bestChild,
+			Label:   e.Label,
+			Forward: bestForward,
+			Index:   bestEdge,
+		}
+		t.Children[bestParent] = append(t.Children[bestParent], bestChild)
+		t.Depth[bestChild] = t.Depth[bestParent] + 1
+	}
+	for i := range q.Edges() {
+		if !usedEdge[i] {
+			t.NonTree = append(t.NonTree, i)
+			e := q.Edge(i)
+			t.NonTreeAt[e.From] = append(t.NonTreeAt[e.From], i)
+			if e.To != e.From {
+				t.NonTreeAt[e.To] = append(t.NonTreeAt[e.To], i)
+			}
+		}
+	}
+	return t, nil
+}
+
+// IsTreeEdge reports whether query-edge index i was selected for the tree.
+func (t *Tree) IsTreeEdge(i int) bool {
+	for _, nt := range t.NonTree {
+		if nt == i {
+			return false
+		}
+	}
+	return true
+}
+
+// VerticesPreorder returns the query vertices in a root-first preorder.
+func (t *Tree) VerticesPreorder() []graph.VertexID {
+	out := make([]graph.VertexID, 0, t.Q.NumVertices())
+	var rec func(u graph.VertexID)
+	rec = func(u graph.VertexID) {
+		out = append(out, u)
+		for _, c := range t.Children[u] {
+			rec(c)
+		}
+	}
+	rec(t.Root)
+	return out
+}

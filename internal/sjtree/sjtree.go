@@ -1,0 +1,454 @@
+// Package sjtree implements the SJ-Tree baseline (Choudhury et al., EDBT
+// 2015; Section 2.2 of the TurboFlux paper): a left-deep subgraph-join
+// tree whose leaves are single query edges and whose internal nodes
+// materialize the join of their children's partial solutions.
+//
+// On every edge insertion, new tuples enter the matching leaves, join with
+// the materialized table of the sibling node and propagate upward; tuples
+// reaching the root are positive matches. Duplicate partial solutions are
+// filtered with the generate-and-discard strategy (check the hash table
+// before inserting). SJ-Tree does not support edge deletion — the paper
+// excludes it from the deletion experiments for the same reason.
+//
+// The storage pathology the paper demonstrates (worst case
+// O(|V(q)|·|E(g)|^|E(q)|) materialized tuples) is inherent to this design
+// and reproduces in the benchmarks.
+package sjtree
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+	"turboflux/internal/stream"
+)
+
+// ErrDeletionUnsupported is returned by Apply for deletion operations.
+var ErrDeletionUnsupported = errors.New("sjtree: edge deletion is not supported")
+
+// ErrTupleCap is returned once the engine materializes more tuples than
+// its configured cap; the run is censored (the paper's timeout analogue
+// for SJ-Tree's storage blow-ups).
+var ErrTupleCap = errors.New("sjtree: materialized tuple cap exceeded")
+
+// MatchFunc receives one positive match; the mapping slice is reused.
+type MatchFunc func(m []graph.VertexID)
+
+// Options configures an SJ-Tree engine.
+type Options struct {
+	// Injective selects subgraph isomorphism.
+	Injective bool
+	// OnMatch, when non-nil, receives every positive match.
+	OnMatch MatchFunc
+	// TupleCap bounds the total materialized tuples (0 = unlimited). It
+	// also bounds generate-and-discard work: processing more than
+	// 16*TupleCap generated tuples (kept or discarded) censors the run,
+	// so pathological joins cannot stall uncensored.
+	TupleCap int64
+	// Deadline censors the run (including the initial materialization,
+	// which dominates on large g0) once the wall clock passes it; zero
+	// disables. Checked every few thousand generated tuples.
+	Deadline time.Time
+}
+
+// tuple is a partial solution: data vertex per query vertex, graph.NoVertex
+// where uncovered.
+type tuple []graph.VertexID
+
+// node is one node of the left-deep join tree.
+type node struct {
+	// edge is the query-edge index for leaves, -1 for internal nodes.
+	edge int
+	// left/right children; nil for leaves. right is always a leaf.
+	left, right *node
+	// covered[u] reports whether query vertex u is covered by this node.
+	covered []bool
+	// joinVars are the query vertices shared with the sibling in the parent
+	// join (empty for the root).
+	joinVars []graph.VertexID
+	// index maps join-key -> tuples, for the parent's join probe.
+	index map[string][]tuple
+	// seen deduplicates full tuples (generate-and-discard).
+	seen map[string]bool
+	// size is the number of materialized tuples.
+	size int
+}
+
+// Engine is an SJ-Tree continuous matcher.
+type Engine struct {
+	g         *graph.Graph
+	q         *query.Graph
+	injective bool
+	onMatch   MatchFunc
+	tupleCap  int64
+	deadline  time.Time
+
+	root   *node
+	leaves []*node // leaf for query edge i at leaves[i]
+	nodes  []*node // all nodes, for size accounting
+
+	posTotal int64
+	work     int64 // generated tuples processed, kept or discarded
+	capHit   bool
+}
+
+// New builds the SJ-Tree for q over the initial graph g0 and materializes
+// the partial solutions of its edges. The engine takes ownership of g0
+// (callers keep their own copy if they need one). It returns ErrTupleCap
+// when the initial materialization already exceeds opt.TupleCap.
+func New(g0 *graph.Graph, q *query.Graph, opt Options) (*Engine, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		g:         g0,
+		q:         q,
+		injective: opt.Injective,
+		onMatch:   opt.OnMatch,
+		tupleCap:  opt.TupleCap,
+		deadline:  opt.Deadline,
+	}
+	if err := e.buildTree(); err != nil {
+		return nil, err
+	}
+	// Materialize g0's edges: matches produced here are the initial
+	// matches, not stream positives.
+	save := e.onMatch
+	e.onMatch = nil
+	g0.ForEachEdge(func(ed graph.Edge) {
+		if !e.capHit {
+			e.materialize(ed)
+		}
+	})
+	e.posTotal = 0
+	e.onMatch = save
+	if e.capHit {
+		return nil, ErrTupleCap
+	}
+	return e, nil
+}
+
+// buildTree constructs the left-deep decomposition: query edges are taken
+// in a connected order (each subsequent edge shares a vertex with the
+// prefix); leaf i holds edge order[i]; internal node i joins internal node
+// i-1 with leaf i.
+func (e *Engine) buildTree() error {
+	q := e.q
+	n := q.NumEdges()
+	order := connectedEdgeOrder(q)
+	if len(order) != n {
+		return fmt.Errorf("sjtree: query is disconnected")
+	}
+	mkLeaf := func(ei int) *node {
+		qe := q.Edge(ei)
+		cov := make([]bool, q.NumVertices())
+		cov[qe.From] = true
+		cov[qe.To] = true
+		return &node{
+			edge:    ei,
+			covered: cov,
+			index:   make(map[string][]tuple),
+			seen:    make(map[string]bool),
+		}
+	}
+	cur := mkLeaf(order[0])
+	e.leaves = make([]*node, n)
+	e.leaves[order[0]] = cur
+	e.nodes = append(e.nodes, cur)
+	for i := 1; i < n; i++ {
+		leaf := mkLeaf(order[i])
+		e.leaves[order[i]] = leaf
+		parentCov := make([]bool, q.NumVertices())
+		var shared []graph.VertexID
+		for u := range parentCov {
+			parentCov[u] = cur.covered[u] || leaf.covered[u]
+			if cur.covered[u] && leaf.covered[u] {
+				shared = append(shared, graph.VertexID(u))
+			}
+		}
+		cur.joinVars = shared
+		leaf.joinVars = shared
+		parent := &node{
+			edge:    -1,
+			left:    cur,
+			right:   leaf,
+			covered: parentCov,
+			index:   make(map[string][]tuple),
+			seen:    make(map[string]bool),
+		}
+		e.nodes = append(e.nodes, leaf, parent)
+		cur = parent
+	}
+	// If the query has a single edge, the lone leaf is the root.
+	e.root = cur
+	return nil
+}
+
+// connectedEdgeOrder returns the query edges ordered so each shares a
+// vertex with an earlier edge.
+func connectedEdgeOrder(q *query.Graph) []int {
+	n := q.NumEdges()
+	used := make([]bool, n)
+	inSet := make([]bool, q.NumVertices())
+	var order []int
+	first := q.Edge(0)
+	order = append(order, 0)
+	used[0] = true
+	inSet[first.From], inSet[first.To] = true, true
+	for len(order) < n {
+		found := -1
+		for i, qe := range q.Edges() {
+			if used[i] {
+				continue
+			}
+			if inSet[qe.From] || inSet[qe.To] {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			break
+		}
+		used[found] = true
+		qe := q.Edge(found)
+		inSet[qe.From], inSet[qe.To] = true, true
+		order = append(order, found)
+	}
+	return order
+}
+
+// Apply processes one update. Deletions return ErrDeletionUnsupported;
+// vertex declarations register the vertex.
+func (e *Engine) Apply(u stream.Update) (int64, error) {
+	switch u.Op {
+	case stream.OpInsert:
+		return e.InsertEdge(u.Edge.From, u.Edge.Label, u.Edge.To)
+	case stream.OpDelete:
+		return 0, ErrDeletionUnsupported
+	case stream.OpVertex:
+		if !e.g.HasVertex(u.Vertex) {
+			e.g.EnsureVertex(u.Vertex, u.Labels...)
+		}
+		return 0, nil
+	default:
+		return 0, fmt.Errorf("sjtree: unknown op %d", u.Op)
+	}
+}
+
+// InsertEdge inserts (v, l, v2) and returns the number of positive matches.
+// Once the tuple cap is exceeded every further insertion fails with
+// ErrTupleCap.
+func (e *Engine) InsertEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) (int64, error) {
+	if e.capHit {
+		return 0, ErrTupleCap
+	}
+	if !e.g.InsertEdge(v, l, v2) {
+		return 0, nil
+	}
+	before := e.posTotal
+	e.materialize(graph.Edge{From: v, Label: l, To: v2})
+	if e.capHit {
+		return e.posTotal - before, ErrTupleCap
+	}
+	return e.posTotal - before, nil
+}
+
+// materialize generates the leaf tuples of a (present) data edge and
+// propagates them through the join tree.
+func (e *Engine) materialize(ed graph.Edge) {
+	nq := e.q.NumVertices()
+	for ei, qe := range e.q.Edges() {
+		if qe.Label != ed.Label {
+			continue
+		}
+		if !e.g.HasAllLabels(ed.From, e.q.Labels(qe.From)) ||
+			!e.g.HasAllLabels(ed.To, e.q.Labels(qe.To)) {
+			continue
+		}
+		if e.injective && qe.From != qe.To && ed.From == ed.To {
+			continue
+		}
+		if qe.From == qe.To && ed.From != ed.To {
+			continue
+		}
+		tup := make(tuple, nq)
+		for i := range tup {
+			tup[i] = graph.NoVertex
+		}
+		tup[qe.From] = ed.From
+		tup[qe.To] = ed.To
+		e.propagate(e.leaves[ei], []tuple{tup})
+	}
+}
+
+// propagate inserts delta tuples into n, joins them against the sibling's
+// materialized table and recurses into the parent with the join results.
+func (e *Engine) propagate(n *node, delta []tuple) {
+	if e.capHit {
+		return
+	}
+	before := e.work
+	e.work += int64(len(delta))
+	fresh := n.addTuples(delta)
+	if e.tupleCap > 0 && (e.TupleCount() > e.tupleCap || e.work > 16*e.tupleCap) {
+		e.capHit = true
+		return
+	}
+	// Wall-clock censoring, checked roughly every 4096 generated tuples.
+	if !e.deadline.IsZero() && before>>12 != e.work>>12 && time.Now().After(e.deadline) {
+		e.capHit = true
+		return
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	parent, sibling := e.parentAndSibling(n)
+	if parent == nil {
+		// Root: fresh tuples are positive matches.
+		for _, t := range fresh {
+			e.posTotal++
+			if e.onMatch != nil {
+				e.onMatch(t)
+			}
+		}
+		return
+	}
+	var out []tuple
+	for _, t := range fresh {
+		key := joinKey(t, n.joinVars)
+		for _, s := range sibling.index[key] {
+			if merged, ok := e.merge(t, s); ok {
+				out = append(out, merged)
+			}
+		}
+	}
+	if len(out) > 0 {
+		e.propagate(parent, out)
+	}
+}
+
+// parentAndSibling locates n's parent and sibling in the left-deep tree.
+func (e *Engine) parentAndSibling(n *node) (parent, sibling *node) {
+	for _, cand := range e.nodes {
+		if cand.left == n {
+			return cand, cand.right
+		}
+		if cand.right == n {
+			return cand, cand.left
+		}
+	}
+	return nil, nil
+}
+
+// addTuples inserts tuples into n's table, discarding duplicates, and
+// returns the genuinely new ones (generate-and-discard).
+func (n *node) addTuples(ts []tuple) []tuple {
+	var fresh []tuple
+	for _, t := range ts {
+		fk := fullKey(t)
+		if n.seen[fk] {
+			continue
+		}
+		n.seen[fk] = true
+		key := joinKey(t, n.joinVars)
+		n.index[key] = append(n.index[key], t)
+		n.size++
+		fresh = append(fresh, t)
+	}
+	return fresh
+}
+
+// merge combines two tuples with compatible shared vertices; it reports
+// failure on conflicts (shouldn't happen after the key join) and, under
+// isomorphism, on non-injective combinations.
+func (e *Engine) merge(a, b tuple) (tuple, bool) {
+	out := make(tuple, len(a))
+	copy(out, a)
+	for u, v := range b {
+		if v == graph.NoVertex {
+			continue
+		}
+		if out[u] != graph.NoVertex && out[u] != v {
+			return nil, false
+		}
+		out[u] = v
+	}
+	if e.injective {
+		seen := make(map[graph.VertexID]bool, len(out))
+		for _, v := range out {
+			if v == graph.NoVertex {
+				continue
+			}
+			if seen[v] {
+				return nil, false
+			}
+			seen[v] = true
+		}
+	}
+	return out, true
+}
+
+func joinKey(t tuple, vars []graph.VertexID) string {
+	b := make([]byte, 0, len(vars)*5)
+	for _, u := range vars {
+		b = appendVertex(b, t[u])
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func fullKey(t tuple) string {
+	b := make([]byte, 0, len(t)*5)
+	for _, v := range t {
+		b = appendVertex(b, v)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+func appendVertex(b []byte, v graph.VertexID) []byte {
+	if v == graph.NoVertex {
+		return append(b, '*')
+	}
+	n := uint64(v)
+	if n >= 10 {
+		b = appendVertex(b, graph.VertexID(n/10))
+		return append(b, byte('0'+n%10))
+	}
+	return append(b, byte('0'+n))
+}
+
+// PositiveCount returns the total positives reported for stream inserts.
+func (e *Engine) PositiveCount() int64 { return e.posTotal }
+
+// IntermediateSizeBytes returns the accounting size of all materialized
+// partial solutions: per tuple, 8 bytes per covered query vertex (the
+// paper sizes SJ-Tree tuples by the number of vertices in the subquery).
+func (e *Engine) IntermediateSizeBytes() int64 {
+	var total int64
+	for _, n := range e.nodes {
+		width := 0
+		for _, c := range n.covered {
+			if c {
+				width++
+			}
+		}
+		total += int64(n.size) * int64(width) * 8
+	}
+	return total
+}
+
+// TupleCount returns the number of materialized partial solutions across
+// all nodes (the quantity Figure 2b reports per node).
+func (e *Engine) TupleCount() int64 {
+	var total int64
+	for _, n := range e.nodes {
+		total += int64(n.size)
+	}
+	return total
+}
+
+// Graph returns the engine's data graph (for assertions in tests).
+func (e *Engine) Graph() *graph.Graph { return e.g }

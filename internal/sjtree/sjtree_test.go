@@ -1,0 +1,216 @@
+package sjtree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/naive"
+	"turboflux/internal/query"
+	"turboflux/internal/stream"
+)
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func mapKey(m []graph.VertexID) string {
+	b := make([]byte, 0, len(m)*4)
+	for i, v := range m {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendVertex(b, v)
+	}
+	return string(b)
+}
+
+func randQuery(rng *rand.Rand, n, extra int) *query.Graph {
+	q := query.NewGraph(n)
+	for u := 0; u < n; u++ {
+		if rng.Intn(3) > 0 {
+			q.SetLabels(graph.VertexID(u), graph.Label(rng.Intn(3)))
+		}
+	}
+	for u := 1; u < n; u++ {
+		p := graph.VertexID(rng.Intn(u))
+		l := graph.Label(rng.Intn(3))
+		if rng.Intn(2) == 0 {
+			_ = q.AddEdge(p, l, graph.VertexID(u))
+		} else {
+			_ = q.AddEdge(graph.VertexID(u), l, p)
+		}
+	}
+	for i := 0; i < extra; i++ {
+		_ = q.AddEdge(graph.VertexID(rng.Intn(n)), graph.Label(rng.Intn(3)), graph.VertexID(rng.Intn(n)))
+	}
+	return q
+}
+
+// TestDifferentialVsNaive replays random insertion streams through SJ-Tree
+// and the naive oracle and compares per-update positive match sets.
+func TestDifferentialVsNaive(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		injective := seed%2 == 1
+		q := randQuery(rng, 3+rng.Intn(3), rng.Intn(2))
+		g0 := graph.New()
+		const nv = 10
+		for v := 0; v < nv; v++ {
+			_ = g0.AddVertex(graph.VertexID(v), graph.Label(rng.Intn(3)))
+		}
+		for i := 0; i < 10; i++ {
+			g0.InsertEdge(graph.VertexID(rng.Intn(nv)), graph.Label(rng.Intn(3)), graph.VertexID(rng.Intn(nv)))
+		}
+		pos := map[string]bool{}
+		eng, err := New(g0.Clone(), q, Options{Injective: injective, OnMatch: func(m []graph.VertexID) {
+			k := mapKey(m)
+			if pos[k] {
+				t.Fatalf("seed %d: duplicate positive %s", seed, k)
+			}
+			pos[k] = true
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle, err := naive.New(g0.Clone(), q, injective)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 50; step++ {
+			up := stream.Insert(
+				graph.VertexID(rng.Intn(nv)),
+				graph.Label(rng.Intn(3)),
+				graph.VertexID(rng.Intn(nv)))
+			pos = map[string]bool{}
+			if _, err := eng.Apply(up); err != nil {
+				t.Fatalf("seed %d step %d: %v", seed, step, err)
+			}
+			oPos, oNeg, err := oracle.Apply(up)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(oNeg) != 0 {
+				t.Fatal("insert-only stream produced negatives in oracle")
+			}
+			if got, want := sortedKeys(pos), sortedKeys(oPos); !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d step %d (%v): positives\n got %v\nwant %v\nquery %v",
+					seed, step, up.Edge, got, want, q)
+			}
+		}
+	}
+}
+
+func TestDeletionUnsupported(t *testing.T) {
+	q := query.NewGraph(2)
+	_ = q.AddEdge(0, 1, 1)
+	e, err := New(graph.New(), q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(stream.Delete(0, 1, 1)); err != ErrDeletionUnsupported {
+		t.Fatalf("delete err = %v, want ErrDeletionUnsupported", err)
+	}
+}
+
+func TestSingleEdgeQuery(t *testing.T) {
+	q := query.NewGraph(2)
+	q.SetLabels(0, 1)
+	_ = q.AddEdge(0, 5, 1)
+	g := graph.New()
+	_ = g.AddVertex(0, 1)
+	_ = g.AddVertex(1, 2)
+	e, err := New(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := e.InsertEdge(0, 5, 1); err != nil || n != 1 {
+		t.Fatalf("n=%d err=%v, want 1", n, err)
+	}
+	if n, err := e.InsertEdge(1, 5, 0); err != nil || n != 0 {
+		t.Fatalf("wrong-label-endpoint insert: n=%d err=%v, want 0", n, err)
+	}
+	if n, err := e.InsertEdge(0, 5, 1); err != nil || n != 0 {
+		t.Fatalf("duplicate insert: n=%d err=%v", n, err)
+	}
+	if e.PositiveCount() != 1 {
+		t.Fatalf("PositiveCount = %d", e.PositiveCount())
+	}
+}
+
+// TestIntermediateBlowup reproduces the Figure 2b pathology at miniature
+// scale: a star fan-out inflates SJ-Tree's materialized tuples while no
+// complete solution exists.
+func TestIntermediateBlowup(t *testing.T) {
+	// Query: u0(A) -0-> u1(B) -1-> u2(C) -2-> u3(D); data has 30 Bs
+	// reachable from A, each with an edge to C, but no D edge at all.
+	q := query.NewGraph(4)
+	q.SetLabels(0, 0)
+	q.SetLabels(1, 1)
+	q.SetLabels(2, 2)
+	q.SetLabels(3, 3)
+	_ = q.AddEdge(0, 0, 1)
+	_ = q.AddEdge(1, 1, 2)
+	_ = q.AddEdge(2, 2, 3)
+	g := graph.New()
+	_ = g.AddVertex(0, 0)
+	_ = g.AddVertex(1, 2)
+	for i := graph.VertexID(10); i < 40; i++ {
+		_ = g.AddVertex(i, 1)
+	}
+	e, err := New(g, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := graph.VertexID(10); i < 40; i++ {
+		if _, err := e.InsertEdge(0, 0, i); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.InsertEdge(i, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.PositiveCount() != 0 {
+		t.Fatal("no complete solutions expected")
+	}
+	// 30 leaf tuples for (u0,u1), 30 for (u1,u2), 30 joined partials, and
+	// zero beyond — at least 90 tuples materialized with zero results.
+	if e.TupleCount() < 90 {
+		t.Fatalf("TupleCount = %d, want >= 90", e.TupleCount())
+	}
+	if e.IntermediateSizeBytes() <= 0 {
+		t.Fatal("size accounting must be positive")
+	}
+}
+
+func TestVertexDeclaration(t *testing.T) {
+	q := query.NewGraph(2)
+	q.SetLabels(1, 7)
+	_ = q.AddEdge(0, 1, 1)
+	e, err := New(graph.New(), q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(stream.DeclareVertex(3, 7)); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := e.Apply(stream.Insert(2, 1, 3)); n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+	if _, err := e.Apply(stream.Update{Op: 99}); err == nil {
+		t.Fatal("unknown op must error")
+	}
+}
+
+func TestInvalidQuery(t *testing.T) {
+	if _, err := New(graph.New(), query.NewGraph(0), Options{}); err == nil {
+		t.Fatal("invalid query must error")
+	}
+}

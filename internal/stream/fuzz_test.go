@@ -1,0 +1,44 @@
+package stream
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzDecode checks that the stream decoder never panics and that whatever
+// it accepts survives an encode/decode round trip.
+func FuzzDecode(f *testing.F) {
+	for _, seed := range []string{
+		"i 1 2 3\n",
+		"d 0 0 0\n",
+		"v 7 1,2\n# comment\n\ni 7 1 8\n",
+		"x y z\n",
+		"i 4294967295 65535 0\n",
+		"v 1\n",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		ups, err := Decode(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, ups); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+		again, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("decode of re-encoded stream failed: %v", err)
+		}
+		if len(again) != len(ups) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(ups))
+		}
+		for i := range ups {
+			if ups[i].Op != again[i].Op || ups[i].Edge != again[i].Edge || ups[i].Vertex != again[i].Vertex {
+				t.Fatalf("round trip changed record %d: %+v vs %+v", i, ups[i], again[i])
+			}
+		}
+	})
+}

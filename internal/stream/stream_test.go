@@ -1,0 +1,97 @@
+package stream
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"turboflux/internal/graph"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	in := []Update{
+		DeclareVertex(0, 1, 2),
+		DeclareVertex(1),
+		Insert(0, 5, 1),
+		Delete(0, 5, 1),
+		Insert(1, 0, 0),
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+func TestDecodeCommentsAndBlank(t *testing.T) {
+	src := "# header\n\nv 3 7\ni 3 0 4\n  # trailing\nd 3 0 4\n"
+	ups, err := Decode(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ups) != 3 {
+		t.Fatalf("decoded %d updates, want 3", len(ups))
+	}
+	if ups[0].Op != OpVertex || ups[0].Vertex != 3 || len(ups[0].Labels) != 1 || ups[0].Labels[0] != 7 {
+		t.Fatalf("vertex record parsed wrong: %+v", ups[0])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, src := range []string{
+		"x 1 2 3\n",
+		"i 1 2\n",
+		"i a 2 3\n",
+		"i 1 b 3\n",
+		"i 1 2 c\n",
+		"v\n",
+		"v 1 2 3\n",
+		"v 1 notalabel\n",
+		"i 1 99999 3\n", // label overflows uint16
+	} {
+		if _, err := Decode(strings.NewReader(src)); err == nil {
+			t.Errorf("Decode(%q) should fail", src)
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	g := graph.New()
+	if !DeclareVertex(7, 1).Apply(g) {
+		t.Fatal("vertex declaration should change graph")
+	}
+	if DeclareVertex(7, 2).Apply(g) {
+		t.Fatal("re-declaration must be a no-op")
+	}
+	if !Insert(7, 0, 8).Apply(g) || Insert(7, 0, 8).Apply(g) {
+		t.Fatal("insert semantics wrong")
+	}
+	if !Delete(7, 0, 8).Apply(g) || Delete(7, 0, 8).Apply(g) {
+		t.Fatal("delete semantics wrong")
+	}
+	n := ApplyAll(g, []Update{Insert(1, 0, 2), Insert(1, 0, 2), Insert(2, 0, 3)})
+	if n != 2 {
+		t.Fatalf("ApplyAll effective count = %d, want 2", n)
+	}
+}
+
+func TestBatches(t *testing.T) {
+	ups := make([]Update, 10)
+	b := Batches(ups, 4)
+	if len(b) != 3 || len(b[0]) != 4 || len(b[2]) != 2 {
+		t.Fatalf("Batches sizes wrong: %d batches", len(b))
+	}
+	if got := Batches(ups, 0); len(got) != 1 || len(got[0]) != 10 {
+		t.Fatal("size<=0 must return one batch")
+	}
+	if got := Batches(nil, 4); got != nil {
+		t.Fatal("empty input must return nil")
+	}
+}

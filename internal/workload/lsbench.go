@@ -1,0 +1,245 @@
+package workload
+
+import (
+	"math/rand"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/stream"
+)
+
+// LSBench vertex type indices.
+const (
+	TypeUser = iota
+	TypePost
+	TypeComment
+	TypePhoto
+	TypeAlbum
+	TypeChannel
+	TypeTag
+	numLSTypes
+)
+
+// LSBench edge labels.
+const (
+	EdgeFollows graph.Label = iota
+	EdgeFriendOf
+	EdgeCreatorOf
+	EdgeLikes
+	EdgeAuthorOf
+	EdgeReplyOf
+	EdgeContainerOf
+	EdgeOwnerOf
+	EdgeSubscriberOf
+	EdgeChannelPost
+	EdgeHasTag
+	EdgeTaggedWith
+	EdgeMentions
+	EdgeUserTag
+	// Rare relations: generated at low volume so that random label choice
+	// produces queries across the whole selectivity spectrum, as in the
+	// paper's query generation ("we randomly choose an edge label
+	// regardless of the edge distribution", Section 5.1).
+	EdgeModeratorOf
+	EdgePinnedIn
+	EdgeReportedBy
+	EdgeAvatarOf
+	numLSEdgeLabels
+)
+
+// LSBenchConfig configures the LSBench-like generator. Users is the scale
+// factor (the paper scales 0.1 M / 1 M / 10 M users; defaults here are
+// laptop-scale).
+type LSBenchConfig struct {
+	Users int
+	// StreamFraction is the share of triples held back as the update
+	// stream Δg (the paper's split is ≈10%).
+	StreamFraction float64
+	// DeletionRate is (#deletions / #insertions) in Δg (Appendix B.2);
+	// deletions of previously live edges are interleaved into the stream.
+	DeletionRate float64
+	Seed         int64
+}
+
+// DefaultLSBenchConfig returns the default laptop-scale configuration
+// (≈20 triples per user, mirroring LSBench's ≈21 M triples for 0.1 M
+// users at 1/10 the per-user density for tractable test runs).
+func DefaultLSBenchConfig() LSBenchConfig {
+	return LSBenchConfig{Users: 2000, StreamFraction: 0.1, Seed: 1}
+}
+
+// Dataset is a generated benchmark input: the initial graph g0, the update
+// stream Δg, and the schema the query generators draw from.
+type Dataset struct {
+	Name   string
+	Graph  *graph.Graph // g0 (vertices of the whole universe are declared)
+	Stream []stream.Update
+	Schema *Schema
+}
+
+// LSBenchSchema returns the social-network schema used by the generator.
+func LSBenchSchema() *Schema {
+	return &Schema{
+		VertexTypes: []graph.Label{0, 1, 2, 3, 4, 5, 6},
+		VertexTypeNames: []string{
+			"User", "Post", "Comment", "Photo", "Album", "Channel", "Tag",
+		},
+		EdgeLabelNames: []string{
+			"follows", "friendOf", "creatorOf", "likes", "authorOf",
+			"replyOf", "containerOf", "ownerOf", "subscriberOf",
+			"channelPost", "hasTag", "taggedWith", "mentions", "userTag",
+			"moderatorOf", "pinnedIn", "reportedBy", "avatarOf",
+		},
+		Edges: []SchemaEdge{
+			{TypeUser, EdgeFollows, TypeUser},
+			{TypeUser, EdgeFriendOf, TypeUser},
+			{TypeUser, EdgeCreatorOf, TypePost},
+			{TypeUser, EdgeLikes, TypePost},
+			{TypeUser, EdgeAuthorOf, TypeComment},
+			{TypeComment, EdgeReplyOf, TypePost},
+			{TypeAlbum, EdgeContainerOf, TypePhoto},
+			{TypeUser, EdgeOwnerOf, TypeAlbum},
+			{TypeUser, EdgeSubscriberOf, TypeChannel},
+			{TypeChannel, EdgeChannelPost, TypePost},
+			{TypePost, EdgeHasTag, TypeTag},
+			{TypePhoto, EdgeTaggedWith, TypeTag},
+			{TypeComment, EdgeMentions, TypeUser},
+			{TypePhoto, EdgeUserTag, TypeUser},
+			{TypeUser, EdgeModeratorOf, TypeChannel},
+			{TypePost, EdgePinnedIn, TypeChannel},
+			{TypeComment, EdgeReportedBy, TypeUser},
+			{TypePhoto, EdgeAvatarOf, TypeUser},
+		},
+	}
+}
+
+// LSBench generates the LSBench-like dataset.
+func LSBench(cfg LSBenchConfig) *Dataset {
+	if cfg.Users <= 0 {
+		cfg.Users = DefaultLSBenchConfig().Users
+	}
+	if cfg.StreamFraction <= 0 || cfg.StreamFraction >= 1 {
+		cfg.StreamFraction = 0.1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sc := LSBenchSchema()
+
+	// Entity counts derived from the user scale factor.
+	users := cfg.Users
+	posts := 4 * users
+	comments := 5 * users
+	photos := 2 * users
+	albums := users / 2
+	if albums == 0 {
+		albums = 1
+	}
+	channels := users/20 + 1
+	tags := users/10 + 20
+
+	// Vertex ID layout: contiguous ranges per type.
+	base := make([]graph.VertexID, numLSTypes+1)
+	counts := []int{users, posts, comments, photos, albums, channels, tags}
+	for i, c := range counts {
+		base[i+1] = base[i] + graph.VertexID(c)
+	}
+	vid := func(t, i int) graph.VertexID { return base[t] + graph.VertexID(i) }
+
+	g := graph.New()
+	for t, c := range counts {
+		for i := 0; i < c; i++ {
+			_ = g.AddVertex(vid(t, i), sc.VertexTypes[t])
+		}
+	}
+
+	// Zipf-skewed entity popularity: a few users/posts attract more edges
+	// than the median, with a flattened head (large v) so homomorphism
+	// counts stay in the paper's selectivity range (Figure 17a/b).
+	zUser := rand.NewZipf(rng, 1.2, 48, uint64(users-1))
+	zPost := rand.NewZipf(rng, 1.2, 48, uint64(posts-1))
+	zTag := rand.NewZipf(rng, 1.3, 16, uint64(tags-1))
+	hotUser := func() int { return int(zUser.Uint64()) }
+	hotPost := func() int { return int(zPost.Uint64()) }
+
+	var triples []graph.Edge
+	add := func(t1, i1 int, l graph.Label, t2, i2 int) {
+		triples = append(triples, graph.Edge{From: vid(t1, i1), Label: l, To: vid(t2, i2)})
+	}
+
+	// Social graph: ~3 follows and ~2 friendOf per user, skewed targets.
+	for u := 0; u < users; u++ {
+		for k := 0; k < 3; k++ {
+			add(TypeUser, u, EdgeFollows, TypeUser, hotUser())
+		}
+		for k := 0; k < 2; k++ {
+			add(TypeUser, u, EdgeFriendOf, TypeUser, hotUser())
+		}
+		add(TypeUser, u, EdgeSubscriberOf, TypeChannel, rng.Intn(channels))
+	}
+	// Rare relations: one moderator per channel, sparse pins/reports/avatars.
+	for c := 0; c < channels; c++ {
+		add(TypeUser, rng.Intn(users), EdgeModeratorOf, TypeChannel, c)
+		add(TypePost, rng.Intn(posts), EdgePinnedIn, TypeChannel, c)
+	}
+	for i := 0; i < users/20+1; i++ {
+		add(TypeComment, rng.Intn(comments), EdgeReportedBy, TypeUser, rng.Intn(users))
+		add(TypePhoto, rng.Intn(photos), EdgeAvatarOf, TypeUser, rng.Intn(users))
+	}
+	// Content graph.
+	for p := 0; p < posts; p++ {
+		add(TypeUser, hotUser(), EdgeCreatorOf, TypePost, p)
+		add(TypeChannel, rng.Intn(channels), EdgeChannelPost, TypePost, p)
+		for k := rng.Intn(3); k > 0; k-- {
+			add(TypePost, p, EdgeHasTag, TypeTag, int(zTag.Uint64()))
+		}
+		for k := rng.Intn(4); k > 0; k-- {
+			add(TypeUser, hotUser(), EdgeLikes, TypePost, p)
+		}
+	}
+	for c := 0; c < comments; c++ {
+		add(TypeUser, hotUser(), EdgeAuthorOf, TypeComment, c)
+		add(TypeComment, c, EdgeReplyOf, TypePost, hotPost())
+		if rng.Intn(3) == 0 {
+			add(TypeComment, c, EdgeMentions, TypeUser, hotUser())
+		}
+	}
+	for a := 0; a < albums; a++ {
+		add(TypeUser, rng.Intn(users), EdgeOwnerOf, TypeAlbum, a)
+	}
+	for ph := 0; ph < photos; ph++ {
+		add(TypeAlbum, rng.Intn(albums), EdgeContainerOf, TypePhoto, ph)
+		if rng.Intn(2) == 0 {
+			add(TypePhoto, ph, EdgeTaggedWith, TypeTag, int(zTag.Uint64()))
+		}
+		if rng.Intn(3) == 0 {
+			add(TypePhoto, ph, EdgeUserTag, TypeUser, hotUser())
+		}
+	}
+
+	return assemble("lsbench", g, sc, triples, cfg.StreamFraction, cfg.DeletionRate, rng)
+}
+
+// assemble shuffles triples, loads the initial fraction into g, and builds
+// the update stream with interleaved deletions of live edges.
+func assemble(name string, g *graph.Graph, sc *Schema, triples []graph.Edge,
+	streamFraction, deletionRate float64, rng *rand.Rand) *Dataset {
+	rng.Shuffle(len(triples), func(i, j int) { triples[i], triples[j] = triples[j], triples[i] })
+	split := int(float64(len(triples)) * (1 - streamFraction))
+	var live []graph.Edge
+	for _, e := range triples[:split] {
+		if g.InsertEdge(e.From, e.Label, e.To) {
+			live = append(live, e)
+		}
+	}
+	var ups []stream.Update
+	for _, e := range triples[split:] {
+		ups = append(ups, stream.Insert(e.From, e.Label, e.To))
+		live = append(live, e)
+		if deletionRate > 0 && rng.Float64() < deletionRate {
+			i := rng.Intn(len(live))
+			d := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			ups = append(ups, stream.Delete(d.From, d.Label, d.To))
+		}
+	}
+	return &Dataset{Name: name, Graph: g, Stream: ups, Schema: sc}
+}

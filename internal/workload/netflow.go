@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"math/rand"
+
+	"turboflux/internal/graph"
+)
+
+// Netflow edge labels: eight traffic classes, as in the paper's Netflow
+// dataset ("only eight edge labels and no vertex label").
+const (
+	FlowTCP graph.Label = iota
+	FlowUDP
+	FlowICMP
+	FlowHTTP
+	FlowHTTPS
+	FlowDNS
+	FlowFTP
+	FlowSSH
+	numFlowLabels
+)
+
+// NetflowConfig configures the Netflow-like generator.
+type NetflowConfig struct {
+	// Hosts is the number of IP endpoints (unlabeled vertices).
+	Hosts int
+	// Triples is the total number of flow edges generated.
+	Triples int
+	// StreamFraction is the share of triples held back as Δg (paper: 10%).
+	StreamFraction float64
+	// DeletionRate is (#deletions / #insertions) in Δg.
+	DeletionRate float64
+	Seed         int64
+}
+
+// DefaultNetflowConfig returns the default laptop-scale configuration.
+func DefaultNetflowConfig() NetflowConfig {
+	return NetflowConfig{Hosts: 3000, Triples: 60000, StreamFraction: 0.1, Seed: 1}
+}
+
+// NetflowSchema returns the label-poor traffic schema: one untyped vertex
+// kind and eight edge labels.
+func NetflowSchema() *Schema {
+	s := &Schema{
+		EdgeLabelNames: []string{
+			"tcp", "udp", "icmp", "http", "https", "dns", "ftp", "ssh",
+		},
+	}
+	for l := graph.Label(0); l < numFlowLabels; l++ {
+		s.Edges = append(s.Edges, SchemaEdge{Src: NoType, Label: l, Dst: NoType})
+	}
+	return s
+}
+
+// Netflow generates the Netflow-like dataset: anonymized backbone traffic
+// with heavy-tailed host popularity (a few servers receive most flows) and
+// a skewed protocol mix.
+func Netflow(cfg NetflowConfig) *Dataset {
+	def := DefaultNetflowConfig()
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = def.Hosts
+	}
+	if cfg.Triples <= 0 {
+		cfg.Triples = def.Triples
+	}
+	if cfg.StreamFraction <= 0 || cfg.StreamFraction >= 1 {
+		cfg.StreamFraction = def.StreamFraction
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sc := NetflowSchema()
+
+	g := graph.New()
+	for h := 0; h < cfg.Hosts; h++ {
+		_ = g.AddVertex(graph.VertexID(h))
+	}
+
+	zDst := rand.NewZipf(rng, 1.2, 8, uint64(cfg.Hosts-1))
+	zLbl := rand.NewZipf(rng, 1.5, 2, uint64(numFlowLabels-1))
+	triples := make([]graph.Edge, 0, cfg.Triples)
+	for i := 0; i < cfg.Triples; i++ {
+		triples = append(triples, graph.Edge{
+			From:  graph.VertexID(rng.Intn(cfg.Hosts)),
+			Label: graph.Label(zLbl.Uint64()),
+			To:    graph.VertexID(zDst.Uint64()),
+		})
+	}
+	return assemble("netflow", g, sc, triples, cfg.StreamFraction, cfg.DeletionRate, rng)
+}

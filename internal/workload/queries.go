@@ -1,0 +1,327 @@
+package workload
+
+import (
+	"math/rand"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+)
+
+// qbuilder accumulates a query under construction: each query vertex has a
+// schema type (NoType when untyped).
+type qbuilder struct {
+	sc    *Schema
+	types []int
+	edges []graph.Edge // From/To are query vertex indices
+}
+
+func newQBuilder(sc *Schema) *qbuilder { return &qbuilder{sc: sc} }
+
+func (b *qbuilder) addVertex(t int) graph.VertexID {
+	b.types = append(b.types, t)
+	return graph.VertexID(len(b.types) - 1)
+}
+
+// hasEdge reports whether the exact directed labeled edge already exists.
+func (b *qbuilder) hasEdge(e graph.Edge) bool {
+	for _, x := range b.edges {
+		if x == e {
+			return true
+		}
+	}
+	return false
+}
+
+// grow attaches one random schema-conformant edge to the query: pick an
+// existing query vertex, pick a schema edge incident to its type, and
+// either connect to a fresh vertex of the other type or (sometimes) close
+// onto an existing compatible vertex. Reports whether it made progress.
+func (b *qbuilder) grow(rng *rand.Rand, allowClose bool) bool {
+	for attempt := 0; attempt < 32; attempt++ {
+		at := rng.Intn(len(b.types))
+		cands := b.sc.edgesAt(b.types[at])
+		if len(cands) == 0 {
+			continue
+		}
+		se := b.sc.Edges[pick(rng, cands)]
+		// Orient: the picked vertex plays Src or Dst.
+		var srcT, dstT = se.Src, se.Dst
+		var from, to graph.VertexID
+		if !b.sc.Typed() || srcT == b.types[at] {
+			from = graph.VertexID(at)
+			to = b.otherEndpoint(rng, dstT, allowClose)
+		} else {
+			to = graph.VertexID(at)
+			from = b.otherEndpoint(rng, srcT, allowClose)
+		}
+		e := graph.Edge{From: from, Label: se.Label, To: to}
+		if from == to || b.hasEdge(e) {
+			continue
+		}
+		b.edges = append(b.edges, e)
+		return true
+	}
+	return false
+}
+
+// otherEndpoint returns either a fresh vertex of type t or, when
+// allowClose, occasionally an existing vertex of type t (creating a cycle
+// or a reconvergent shape).
+func (b *qbuilder) otherEndpoint(rng *rand.Rand, t int, allowClose bool) graph.VertexID {
+	if allowClose && rng.Intn(4) == 0 {
+		var compat []graph.VertexID
+		for i, ty := range b.types {
+			if !b.sc.Typed() || ty == t {
+				compat = append(compat, graph.VertexID(i))
+			}
+		}
+		if len(compat) > 0 {
+			return pick(rng, compat)
+		}
+	}
+	return b.addVertex(t)
+}
+
+// build converts the accumulated structure into a query.Graph.
+func (b *qbuilder) build() *query.Graph {
+	q := query.NewGraph(len(b.types))
+	for i, t := range b.types {
+		if b.sc.Typed() && t != NoType {
+			q.SetLabels(graph.VertexID(i), b.sc.VertexTypes[t])
+		}
+	}
+	for _, e := range b.edges {
+		if err := q.AddEdge(e.From, e.Label, e.To); err != nil {
+			// hasEdge prevents duplicates; unreachable.
+			panic(err)
+		}
+	}
+	return q
+}
+
+// TreeQueries generates count tree-shaped queries of the given size
+// (number of edges) by random traversal of the schema graph (Section 5.1).
+func (d *Dataset) TreeQueries(count, size int, seed int64) []*query.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*query.Graph, 0, count)
+	for len(out) < count {
+		b := newQBuilder(d.Schema)
+		b.addVertex(d.startType(rng))
+		ok := true
+		for len(b.edges) < size {
+			if !b.grow(rng, false) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, b.build())
+		}
+	}
+	return out
+}
+
+// CyclicQueries generates count graph (cyclic) queries of the given size:
+// a seed cycle of length 3, 4 or 5 (triangle, square, pentagon) built from
+// self-type schema relations, extended with random triples (Section 5.1).
+func (d *Dataset) CyclicQueries(count, size int, seed int64) []*query.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	selfEdges := d.Schema.selfTypeEdges()
+	if !d.Schema.Typed() {
+		selfEdges = d.Schema.edgesAt(NoType)
+	}
+	if len(selfEdges) == 0 {
+		return nil
+	}
+	out := make([]*query.Graph, 0, count)
+	for len(out) < count {
+		cycLen := 3 + rng.Intn(3)
+		if cycLen > size {
+			cycLen = size
+		}
+		b := newQBuilder(d.Schema)
+		se0 := d.Schema.Edges[pick(rng, selfEdges)]
+		t := se0.Src
+		first := b.addVertex(t)
+		prev := first
+		okCycle := true
+		for i := 1; i < cycLen; i++ {
+			nxt := b.addVertex(t)
+			se := d.Schema.Edges[pick(rng, selfEdges)]
+			b.edges = append(b.edges, graph.Edge{From: prev, Label: se.Label, To: nxt})
+			prev = nxt
+		}
+		se := d.Schema.Edges[pick(rng, selfEdges)]
+		closing := graph.Edge{From: prev, Label: se.Label, To: first}
+		if b.hasEdge(closing) || prev == first {
+			continue
+		}
+		b.edges = append(b.edges, closing)
+		for len(b.edges) < size {
+			if !b.grow(rng, true) {
+				okCycle = false
+				break
+			}
+		}
+		if okCycle {
+			out = append(out, b.build())
+		}
+	}
+	return out
+}
+
+// PathQueries generates count directed path queries with size edges — the
+// query shape of [7] used in Appendix B.6 (Figure 15).
+func (d *Dataset) PathQueries(count, size int, seed int64) []*query.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*query.Graph, 0, count)
+	for len(out) < count {
+		b := newQBuilder(d.Schema)
+		cur := b.addVertex(d.startType(rng))
+		ok := true
+		for i := 0; i < size; i++ {
+			curType := b.types[cur]
+			cands := d.Schema.edgesAt(curType)
+			// Prefer edges leaving the current type so the path stays
+			// directed head-to-tail.
+			var outEdges []SchemaEdge
+			for _, ei := range cands {
+				se := d.Schema.Edges[ei]
+				if !d.Schema.Typed() || se.Src == curType {
+					outEdges = append(outEdges, se)
+				}
+			}
+			if len(outEdges) == 0 {
+				ok = false
+				break
+			}
+			se := pick(rng, outEdges)
+			nxt := b.addVertex(se.Dst)
+			b.edges = append(b.edges, graph.Edge{From: cur, Label: se.Label, To: nxt})
+			cur = nxt
+		}
+		if ok {
+			out = append(out, b.build())
+		}
+	}
+	return out
+}
+
+// BinaryTreeQueries generates count binary-tree queries with size edges —
+// the other query shape of [7] (Figure 16): each vertex has at most two
+// children, filled level by level.
+func (d *Dataset) BinaryTreeQueries(count, size int, seed int64) []*query.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*query.Graph, 0, count)
+	for len(out) < count {
+		b := newQBuilder(d.Schema)
+		b.addVertex(d.startType(rng))
+		childCount := []int{0}
+		ok := true
+		for len(b.edges) < size {
+			// Attach to the earliest vertex with fewer than two children.
+			parent := -1
+			for i, c := range childCount {
+				if c < 2 {
+					parent = i
+					break
+				}
+			}
+			if parent < 0 {
+				ok = false
+				break
+			}
+			pt := b.types[parent]
+			cands := d.Schema.edgesAt(pt)
+			if len(cands) == 0 {
+				ok = false
+				break
+			}
+			se := d.Schema.Edges[pick(rng, cands)]
+			var e graph.Edge
+			var childType int
+			if !d.Schema.Typed() || se.Src == pt {
+				childType = se.Dst
+				child := b.addVertex(childType)
+				e = graph.Edge{From: graph.VertexID(parent), Label: se.Label, To: child}
+			} else {
+				childType = se.Src
+				child := b.addVertex(childType)
+				e = graph.Edge{From: child, Label: se.Label, To: graph.VertexID(parent)}
+			}
+			childCount[parent]++
+			childCount = append(childCount, 0)
+			b.edges = append(b.edges, e)
+		}
+		if ok && len(b.edges) == size {
+			out = append(out, b.build())
+		}
+	}
+	return out
+}
+
+// ShrinkQuery removes one random edge from q while keeping it connected —
+// the paper constructs smaller tree queries from size-12 ones this way. It
+// returns nil when no edge can be removed without disconnecting q or
+// leaving an isolated vertex.
+func ShrinkQuery(q *query.Graph, seed int64) *query.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(q.NumEdges())
+	for _, drop := range perm {
+		nq := rebuildWithout(q, drop)
+		if nq != nil && nq.Validate() == nil {
+			return nq
+		}
+	}
+	return nil
+}
+
+// rebuildWithout rebuilds q without edge index drop, compacting away a
+// vertex that becomes isolated (only ever the dropped edge's endpoint).
+func rebuildWithout(q *query.Graph, drop int) *query.Graph {
+	deg := make([]int, q.NumVertices())
+	for i, e := range q.Edges() {
+		if i == drop {
+			continue
+		}
+		deg[e.From]++
+		deg[e.To]++
+	}
+	remap := make([]graph.VertexID, q.NumVertices())
+	n := 0
+	for u := range deg {
+		if deg[u] > 0 {
+			remap[u] = graph.VertexID(n)
+			n++
+		} else {
+			remap[u] = graph.NoVertex
+		}
+	}
+	if n < 2 {
+		return nil
+	}
+	nq := query.NewGraph(n)
+	for u := 0; u < q.NumVertices(); u++ {
+		if remap[u] != graph.NoVertex {
+			nq.SetLabels(remap[u], q.Labels(graph.VertexID(u))...)
+		}
+	}
+	for i, e := range q.Edges() {
+		if i == drop {
+			continue
+		}
+		if err := nq.AddEdge(remap[e.From], e.Label, remap[e.To]); err != nil {
+			return nil
+		}
+	}
+	return nq
+}
+
+// startType picks a random starting vertex type (NoType for untyped
+// schemas).
+func (d *Dataset) startType(rng *rand.Rand) int {
+	if !d.Schema.Typed() {
+		return NoType
+	}
+	return rng.Intn(len(d.Schema.VertexTypes))
+}

@@ -1,0 +1,78 @@
+// Package workload generates the synthetic datasets and query sets used by
+// the benchmark harness. It provides laptop-scale substitutes for the two
+// datasets of the paper's evaluation (DESIGN.md §4):
+//
+//   - LSBench: a social-network stream in the shape produced by the Linked
+//     Stream Benchmark generator — a typed schema (users, posts, comments,
+//     photos, …), Zipf-skewed fan-out and a #users scale factor;
+//   - Netflow: label-poor IP traffic — unlabeled hosts, eight edge labels,
+//     heavy-tailed host popularity.
+//
+// Query generators follow Section 5.1: tree queries by random schema-graph
+// traversal, cyclic (graph) queries grown from triangles/squares/
+// pentagons, and the path/binary-tree query shapes of Appendix B.6.
+// All generation is deterministic given a seed.
+package workload
+
+import (
+	"math/rand"
+
+	"turboflux/internal/graph"
+)
+
+// SchemaEdge is one allowed relation of a dataset schema: vertices of type
+// Src connect to vertices of type Dst through edge label Label. NoType
+// marks untyped endpoints (the Netflow regime).
+type SchemaEdge struct {
+	Src   int
+	Label graph.Label
+	Dst   int
+}
+
+// NoType marks an untyped schema endpoint.
+const NoType = -1
+
+// Schema describes the type structure of a dataset.
+type Schema struct {
+	// VertexTypes[i] is the vertex Label of type i; an empty schema (no
+	// types) means vertices are unlabeled.
+	VertexTypes []graph.Label
+	// VertexTypeNames[i] names type i (debugging / CLI output).
+	VertexTypeNames []string
+	// EdgeLabelNames[l] names edge label l.
+	EdgeLabelNames []string
+	// Edges are the allowed relations.
+	Edges []SchemaEdge
+}
+
+// Typed reports whether the schema constrains vertex types.
+func (s *Schema) Typed() bool { return len(s.VertexTypes) > 0 }
+
+// edgesAt returns the indices of schema edges whose Src or Dst is type t
+// (either endpoint for untyped schemas).
+func (s *Schema) edgesAt(t int) []int {
+	var out []int
+	for i, e := range s.Edges {
+		if !s.Typed() || e.Src == t || e.Dst == t {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// selfTypeEdges returns schema edges connecting a type to itself — the
+// relations usable for building cyclic queries of arbitrary length.
+func (s *Schema) selfTypeEdges() []int {
+	var out []int
+	for i, e := range s.Edges {
+		if e.Src == e.Dst {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// pick returns a random element of xs.
+func pick[T any](rng *rand.Rand, xs []T) T {
+	return xs[rng.Intn(len(xs))]
+}

@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"testing"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/stream"
+)
+
+func TestLSBenchDeterministic(t *testing.T) {
+	cfg := LSBenchConfig{Users: 200, StreamFraction: 0.1, Seed: 7}
+	a := LSBench(cfg)
+	b := LSBench(cfg)
+	if a.Graph.NumEdges() != b.Graph.NumEdges() || a.Graph.NumVertices() != b.Graph.NumVertices() {
+		t.Fatal("generator not deterministic on g0")
+	}
+	if len(a.Stream) != len(b.Stream) {
+		t.Fatal("generator not deterministic on stream")
+	}
+	for i := range a.Stream {
+		if a.Stream[i].Op != b.Stream[i].Op || a.Stream[i].Edge != b.Stream[i].Edge {
+			t.Fatalf("stream diverges at %d", i)
+		}
+	}
+}
+
+func TestLSBenchShape(t *testing.T) {
+	d := LSBench(LSBenchConfig{Users: 300, StreamFraction: 0.1, Seed: 3})
+	g := d.Graph
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		t.Fatal("empty dataset")
+	}
+	// Stream should be roughly 10% of total triples.
+	total := g.NumEdges() + len(d.Stream)
+	frac := float64(len(d.Stream)) / float64(total)
+	if frac < 0.05 || frac > 0.2 {
+		t.Fatalf("stream fraction = %v, want ~0.1", frac)
+	}
+	// All 14 edge labels must be present; every vertex carries exactly one
+	// type label.
+	for l := graph.Label(0); l < numLSEdgeLabels; l++ {
+		if g.EdgeCount(l) == 0 && !streamHasLabel(d.Stream, l) {
+			t.Errorf("edge label %s absent", d.Schema.EdgeLabelNames[l])
+		}
+	}
+	g.ForEachVertex(func(v graph.VertexID) {
+		if len(g.Labels(v)) != 1 {
+			t.Fatalf("vertex %d has %d labels", v, len(g.Labels(v)))
+		}
+	})
+	// Zipf skew: the most-followed user should have far more followers than
+	// the median.
+	maxIn := 0
+	for _, u := range g.VerticesWithLabel(d.Schema.VertexTypes[TypeUser]) {
+		if n := len(g.InNeighbors(u, EdgeFollows)); n > maxIn {
+			maxIn = n
+		}
+	}
+	if maxIn < 10 {
+		t.Fatalf("max follower count = %d; expected heavy skew", maxIn)
+	}
+}
+
+func streamHasLabel(ups []stream.Update, l graph.Label) bool {
+	for _, u := range ups {
+		if u.Op == stream.OpInsert && u.Edge.Label == l {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLSBenchDeletions(t *testing.T) {
+	d := LSBench(LSBenchConfig{Users: 200, StreamFraction: 0.1, DeletionRate: 0.5, Seed: 5})
+	ins, del := 0, 0
+	for _, u := range d.Stream {
+		switch u.Op {
+		case stream.OpInsert:
+			ins++
+		case stream.OpDelete:
+			del++
+		}
+	}
+	if ins == 0 || del == 0 {
+		t.Fatalf("ins=%d del=%d", ins, del)
+	}
+	ratio := float64(del) / float64(ins)
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Fatalf("deletion ratio = %v, want ~0.5", ratio)
+	}
+	// Every deletion must target an edge that is live at that point.
+	g := d.Graph.Clone()
+	for i, u := range d.Stream {
+		if u.Op == stream.OpDelete && !g.HasEdge(u.Edge.From, u.Edge.Label, u.Edge.To) {
+			t.Fatalf("stream[%d] deletes a dead edge %v", i, u.Edge)
+		}
+		u.Apply(g)
+	}
+}
+
+func TestNetflowShape(t *testing.T) {
+	d := Netflow(NetflowConfig{Hosts: 500, Triples: 5000, StreamFraction: 0.1, Seed: 2})
+	g := d.Graph
+	// Unlabeled vertices, eight edge labels.
+	g.ForEachVertex(func(v graph.VertexID) {
+		if len(g.Labels(v)) != 0 {
+			t.Fatalf("netflow vertex %d is labeled", v)
+		}
+	})
+	if d.Schema.Typed() {
+		t.Fatal("netflow schema must be untyped")
+	}
+	if len(d.Schema.Edges) != int(numFlowLabels) {
+		t.Fatalf("schema has %d edge labels, want %d", len(d.Schema.Edges), numFlowLabels)
+	}
+	if g.NumEdges() == 0 || len(d.Stream) == 0 {
+		t.Fatal("empty netflow dataset")
+	}
+	// Defaults kick in for zero values.
+	d2 := Netflow(NetflowConfig{Seed: 2})
+	if d2.Graph.NumVertices() != DefaultNetflowConfig().Hosts {
+		t.Fatal("default hosts not applied")
+	}
+}
+
+func TestTreeQueries(t *testing.T) {
+	d := LSBench(LSBenchConfig{Users: 100, Seed: 1})
+	for _, size := range []int{3, 6, 9, 12} {
+		qs := d.TreeQueries(20, size, 11)
+		if len(qs) != 20 {
+			t.Fatalf("size %d: got %d queries", size, len(qs))
+		}
+		for _, q := range qs {
+			if q.NumEdges() != size {
+				t.Fatalf("size %d: query has %d edges", size, q.NumEdges())
+			}
+			if q.NumVertices() != size+1 {
+				t.Fatalf("tree query must have size+1 vertices, got %d", q.NumVertices())
+			}
+			if err := q.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestCyclicQueries(t *testing.T) {
+	d := LSBench(LSBenchConfig{Users: 100, Seed: 1})
+	qs := d.CyclicQueries(20, 6, 13)
+	if len(qs) != 20 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.NumEdges() != 6 {
+			t.Fatalf("query has %d edges, want 6", q.NumEdges())
+		}
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		// Cyclic: edges >= vertices.
+		if q.NumEdges() < q.NumVertices() {
+			t.Fatalf("query not cyclic: %d edges, %d vertices", q.NumEdges(), q.NumVertices())
+		}
+	}
+}
+
+func TestNetflowQueries(t *testing.T) {
+	d := Netflow(NetflowConfig{Hosts: 200, Triples: 2000, Seed: 1})
+	for _, q := range d.TreeQueries(10, 4, 3) {
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < q.NumVertices(); u++ {
+			if len(q.Labels(graph.VertexID(u))) != 0 {
+				t.Fatal("netflow query vertices must be unlabeled")
+			}
+		}
+	}
+	if qs := d.CyclicQueries(5, 5, 3); len(qs) != 5 {
+		t.Fatalf("cyclic netflow queries: %d", len(qs))
+	}
+}
+
+func TestPathQueries(t *testing.T) {
+	d := Netflow(NetflowConfig{Hosts: 200, Triples: 2000, Seed: 1})
+	for _, size := range []int{3, 4, 5} {
+		for _, q := range d.PathQueries(10, size, 17) {
+			if q.NumEdges() != size || q.NumVertices() != size+1 {
+				t.Fatalf("path size %d: %d edges %d vertices", size, q.NumEdges(), q.NumVertices())
+			}
+			// Every vertex has degree <= 2: a path.
+			for u := 0; u < q.NumVertices(); u++ {
+				if len(q.IncidentEdges(graph.VertexID(u))) > 2 {
+					t.Fatal("not a path")
+				}
+			}
+		}
+	}
+	// LSBench paths must also work (typed schema).
+	ls := LSBench(LSBenchConfig{Users: 100, Seed: 1})
+	if qs := ls.PathQueries(5, 3, 9); len(qs) != 5 {
+		t.Fatalf("lsbench paths: %d", len(qs))
+	}
+}
+
+func TestBinaryTreeQueries(t *testing.T) {
+	d := Netflow(NetflowConfig{Hosts: 200, Triples: 2000, Seed: 1})
+	for _, size := range []int{4, 8, 14} {
+		for _, q := range d.BinaryTreeQueries(5, size, 23) {
+			if q.NumEdges() != size {
+				t.Fatalf("btree size %d: %d edges", size, q.NumEdges())
+			}
+			if err := q.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestShrinkQuery(t *testing.T) {
+	d := LSBench(LSBenchConfig{Users: 100, Seed: 1})
+	q12 := d.TreeQueries(1, 12, 31)[0]
+	q11 := ShrinkQuery(q12, 1)
+	if q11 == nil {
+		t.Fatal("shrink failed")
+	}
+	if q11.NumEdges() != 11 {
+		t.Fatalf("shrunk query has %d edges, want 11", q11.NumEdges())
+	}
+	if err := q11.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Shrinking all the way down stays connected.
+	q := q12
+	for q.NumEdges() > 1 {
+		nq := ShrinkQuery(q, int64(q.NumEdges()))
+		if nq == nil {
+			t.Fatalf("cannot shrink below %d edges", q.NumEdges())
+		}
+		q = nq
+	}
+}

@@ -1,0 +1,170 @@
+package turboflux
+
+import (
+	"fmt"
+	"sort"
+
+	"turboflux/internal/core"
+	"turboflux/internal/stream"
+)
+
+// MultiEngine runs several continuous queries over one shared data graph,
+// the deployment shape of the paper's motivating applications (a fraud
+// team monitors many ring patterns, an IDS many attack signatures). Each
+// registered query maintains its own DCG; the data graph is mutated once
+// per update and every engine evaluates against it.
+//
+// MultiEngine is not safe for concurrent use, matching Engine.
+type MultiEngine struct {
+	g       *Graph
+	engines map[string]*core.Engine
+	order   []string // registration order, for deterministic fan-out
+}
+
+// NewMultiEngine wraps the initial data graph g0. The MultiEngine takes
+// ownership of g0: route every mutation through it.
+func NewMultiEngine(g0 *Graph) *MultiEngine {
+	return &MultiEngine{g: g0, engines: make(map[string]*core.Engine)}
+}
+
+// Register adds a continuous query under the given name, building its DCG
+// over the current graph state. Registering a duplicate name fails.
+func (m *MultiEngine) Register(name string, q *Query, opt Options) error {
+	if _, dup := m.engines[name]; dup {
+		return fmt.Errorf("turboflux: query %q already registered", name)
+	}
+	copt := core.DefaultOptions()
+	copt.Semantics = opt.Semantics
+	copt.Search = opt.Search
+	copt.OnMatch = opt.OnMatch
+	eng, err := core.New(m.g, q, copt)
+	if err != nil {
+		return err
+	}
+	m.engines[name] = eng
+	m.order = append(m.order, name)
+	return nil
+}
+
+// Unregister removes a query and reports whether it was registered.
+func (m *MultiEngine) Unregister(name string) bool {
+	if _, ok := m.engines[name]; !ok {
+		return false
+	}
+	delete(m.engines, name)
+	for i, n := range m.order {
+		if n == name {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Queries returns the registered query names in registration order.
+func (m *MultiEngine) Queries() []string {
+	return append([]string(nil), m.order...)
+}
+
+// InitialMatches reports each registered query's matches over the current
+// graph and returns per-query counts.
+func (m *MultiEngine) InitialMatches() map[string]int64 {
+	out := make(map[string]int64, len(m.engines))
+	for name, e := range m.engines {
+		out[name] = e.InitialMatches()
+	}
+	return out
+}
+
+// Insert applies one edge insertion to the shared graph and evaluates
+// every registered query. It returns per-query positive-match counts
+// (only non-zero entries). Duplicate insertions are no-ops.
+func (m *MultiEngine) Insert(from VertexID, l Label, to VertexID) (map[string]int64, error) {
+	if !m.g.InsertEdge(from, l, to) {
+		return nil, nil
+	}
+	return m.fanOut(func(e *core.Engine) (int64, error) {
+		return e.EvalInsertedEdge(from, l, to)
+	})
+}
+
+// Delete applies one edge deletion: every engine reports its negative
+// matches first, then the edge is removed from the shared graph.
+func (m *MultiEngine) Delete(from VertexID, l Label, to VertexID) (map[string]int64, error) {
+	if !m.g.HasEdge(from, l, to) {
+		return nil, nil
+	}
+	counts, err := m.fanOut(func(e *core.Engine) (int64, error) {
+		return e.EvalBeforeDelete(from, l, to)
+	})
+	m.g.DeleteEdge(from, l, to)
+	return counts, err
+}
+
+// Apply applies one stream update.
+func (m *MultiEngine) Apply(u Update) (map[string]int64, error) {
+	switch u.Op {
+	case stream.OpInsert:
+		return m.Insert(u.Edge.From, u.Edge.Label, u.Edge.To)
+	case stream.OpDelete:
+		return m.Delete(u.Edge.From, u.Edge.Label, u.Edge.To)
+	case stream.OpVertex:
+		if !m.g.HasVertex(u.Vertex) {
+			m.g.EnsureVertex(u.Vertex, u.Labels...)
+			for _, name := range m.order {
+				m.engines[name].NotifyVertexAdded(u.Vertex)
+			}
+		}
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("turboflux: unknown update op %d", u.Op)
+	}
+}
+
+func (m *MultiEngine) fanOut(eval func(*core.Engine) (int64, error)) (map[string]int64, error) {
+	var counts map[string]int64
+	for _, name := range m.order {
+		n, err := eval(m.engines[name])
+		if err != nil {
+			return counts, fmt.Errorf("query %q: %w", name, err)
+		}
+		if n != 0 {
+			if counts == nil {
+				counts = make(map[string]int64)
+			}
+			counts[name] = n
+		}
+	}
+	return counts, nil
+}
+
+// Graph returns the shared data graph. Treat it as read-only.
+func (m *MultiEngine) Graph() *Graph { return m.g }
+
+// Stats returns a per-query snapshot of engine counters, keyed by name.
+func (m *MultiEngine) Stats() map[string]Stats {
+	out := make(map[string]Stats, len(m.engines))
+	for name, e := range m.engines {
+		out[name] = Stats{
+			PositiveMatches:   e.PositiveCount(),
+			NegativeMatches:   e.NegativeCount(),
+			DCGEdges:          e.DCG().NumEdges(),
+			IntermediateBytes: e.IntermediateSizeBytes(),
+		}
+	}
+	return out
+}
+
+// TotalIntermediateBytes sums the DCG sizes of all registered queries.
+func (m *MultiEngine) TotalIntermediateBytes() int64 {
+	var t int64
+	names := make([]string, 0, len(m.engines))
+	for n := range m.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		t += m.engines[n].IntermediateSizeBytes()
+	}
+	return t
+}

@@ -1,0 +1,159 @@
+package turboflux
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWindowedEviction(t *testing.T) {
+	q := NewQuery(3)
+	_ = q.AddEdge(0, 1, 1)
+	_ = q.AddEdge(1, 1, 2)
+	w, err := NewWindowedEngine(q, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two edges form the path 1->2->3.
+	if pos, neg, err := w.Insert(1, 1, 2); err != nil || pos != 0 || neg != 0 {
+		t.Fatalf("first: %d/%d %v", pos, neg, err)
+	}
+	pos, neg, err := w.Insert(2, 1, 3)
+	if err != nil || pos != 1 || neg != 0 {
+		t.Fatalf("second: %d/%d %v", pos, neg, err)
+	}
+	if w.Len() != 2 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	// Third edge evicts (1,1,2), destroying the match.
+	pos, neg, err = w.Insert(9, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if neg != 1 {
+		t.Fatalf("eviction negatives = %d, want 1", neg)
+	}
+	if w.Len() != 2 || w.Graph().HasEdge(1, 1, 2) {
+		t.Fatal("oldest edge not evicted")
+	}
+	st := w.Stats()
+	if st.PositiveMatches != 1 || st.NegativeMatches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if w.Window() != 2 {
+		t.Fatal("Window accessor wrong")
+	}
+}
+
+func TestWindowedDuplicateInsertAndExplicitDelete(t *testing.T) {
+	q := NewQuery(2)
+	_ = q.AddEdge(0, 1, 1)
+	w, err := NewWindowedEngine(q, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := w.Insert(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate: no-op, window unchanged.
+	if pos, neg, err := w.Insert(1, 1, 2); err != nil || pos != 0 || neg != 0 {
+		t.Fatalf("dup: %d/%d %v", pos, neg, err)
+	}
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	// Explicit retraction.
+	if n, err := w.Delete(1, 1, 2); err != nil || n != 1 {
+		t.Fatalf("delete: %d %v", n, err)
+	}
+	if w.Len() != 0 {
+		t.Fatal("Len after delete")
+	}
+	// Deleting again is a no-op.
+	if n, err := w.Delete(1, 1, 2); err != nil || n != 0 {
+		t.Fatalf("double delete: %d %v", n, err)
+	}
+	// The evictor must skip the tombstone of the explicit delete.
+	for i := VertexID(0); i < 5; i++ {
+		if _, _, err := w.Insert(10+i, 1, 20+i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() != 3 {
+		t.Fatalf("Len = %d, want window size 3", w.Len())
+	}
+}
+
+func TestWindowedDeclareVertexAndErrors(t *testing.T) {
+	q := NewQuery(2)
+	q.SetLabels(1, 7)
+	_ = q.AddEdge(0, 1, 1)
+	if _, err := NewWindowedEngine(q, 0, Options{}); err == nil {
+		t.Fatal("zero window must fail")
+	}
+	if _, err := NewWindowedEngine(NewQuery(0), 2, Options{}); err == nil {
+		t.Fatal("invalid query must fail")
+	}
+	w, err := NewWindowedEngine(q, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.DeclareVertex(5, 7); err != nil {
+		t.Fatal(err)
+	}
+	pos, _, err := w.Insert(4, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pos != 1 {
+		t.Fatalf("labeled-vertex match = %d, want 1", pos)
+	}
+}
+
+// TestWindowedInvariant: the window never holds more than its capacity
+// and its graph always equals the set of live edges.
+func TestWindowedInvariant(t *testing.T) {
+	q := NewQuery(2)
+	_ = q.AddEdge(0, 0, 1)
+	const window = 16
+	w, err := NewWindowedEngine(q, window, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		from := VertexID(rng.Intn(12))
+		to := VertexID(rng.Intn(12))
+		if rng.Intn(5) == 0 {
+			if _, err := w.Delete(from, 0, to); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			if _, _, err := w.Insert(from, 0, to); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if w.Len() > window {
+			t.Fatalf("step %d: window overflow %d", i, w.Len())
+		}
+		if w.Graph().NumEdges() != w.Len() {
+			t.Fatalf("step %d: graph %d edges, live %d", i, w.Graph().NumEdges(), w.Len())
+		}
+	}
+	// Every reported positive must eventually be retracted if we drain.
+	for w.Len() > 0 {
+		var e Edge
+		found := false
+		w.Graph().ForEachEdge(func(x Edge) {
+			if !found {
+				e, found = x, true
+			}
+		})
+		if _, err := w.Delete(e.From, e.Label, e.To); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.PositiveMatches != st.NegativeMatches {
+		t.Fatalf("drained window must balance: +%d -%d", st.PositiveMatches, st.NegativeMatches)
+	}
+}
