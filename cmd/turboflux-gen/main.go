@@ -70,7 +70,7 @@ func run(dataset string, users, hosts, triples int, streamFrac, delRate float64,
 			return err
 		}
 		if err := ds.Graph.WriteBinary(f); err != nil {
-			f.Close()
+			f.Close() //tf:unchecked-ok already failing; the write error wins
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -135,7 +135,7 @@ func writeUpdates(path string, ups []stream.Update) error {
 		return err
 	}
 	if err := stream.Encode(f, ups); err != nil {
-		f.Close()
+		f.Close() //tf:unchecked-ok already failing; the write error wins
 		return err
 	}
 	return f.Close()

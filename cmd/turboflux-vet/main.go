@@ -1,0 +1,99 @@
+// Command turboflux-vet runs the TurboFlux invariant analyzers over the
+// repository: oracle-isolation, dcg-encapsulation, deterministic-emission,
+// hotpath-alloc and unchecked-error (see DESIGN.md, "Enforced
+// invariants").
+//
+// Usage:
+//
+//	turboflux-vet [-C dir] [-json] [packages]
+//
+// Packages use go-tool patterns relative to dir (default "."): "./...",
+// "./internal/core". With no patterns, "./..." is assumed. Exit status is
+// 0 when the tree is clean, 1 when findings were reported, 2 when the
+// analysis could not run.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"turboflux/internal/analysis"
+	"turboflux/internal/analysis/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// finding is the JSON shape of one diagnostic.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// report is the JSON document printed under -json.
+type report struct {
+	Findings []finding `json:"findings"`
+	Count    int       `json:"count"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("turboflux-vet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON")
+	dir := fs.String("C", ".", "run as if started in this directory")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	diags, err := analysis.Run(*dir, fs.Args(), analyzers.All())
+	if err != nil {
+		fmt.Fprintf(stderr, "turboflux-vet: %v\n", err)
+		return 2
+	}
+	rep := report{Findings: make([]finding, 0, len(diags)), Count: len(diags)}
+	for _, d := range diags {
+		rep.Findings = append(rep.Findings, finding{
+			Analyzer: d.Analyzer,
+			File:     displayPath(*dir, d.Position.Filename),
+			Line:     d.Position.Line,
+			Col:      d.Position.Column,
+			Message:  d.Message,
+		})
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintf(stderr, "turboflux-vet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range rep.Findings {
+			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", f.File, f.Line, f.Analyzer, f.Message)
+		}
+	}
+	if rep.Count > 0 {
+		return 1
+	}
+	return 0
+}
+
+// displayPath renders filename relative to dir when possible.
+func displayPath(dir, filename string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filename
+	}
+	rel, err := filepath.Rel(abs, filename)
+	if err != nil || filepath.IsAbs(rel) {
+		return filename
+	}
+	return filepath.ToSlash(rel)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fixture returns the path of one analyzer fixture module.
+func fixture(name string) string {
+	return filepath.Join("..", "..", "internal", "analysis", "analyzers", "testdata", "src", name)
+}
+
+func TestCleanTreeExitsZero(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-C", fixture("clean"), "./..."}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d on clean fixture, want 0; stderr: %s", code, errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean fixture printed findings: %q", out.String())
+	}
+}
+
+func TestFindingsExitOne(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-C", fixture("oracle"), "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on oracle fixture, want 1; stderr: %s", code, errOut.String())
+	}
+	want := "internal/core/engine.go:7: [oracle-isolation]"
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("output missing %q:\n%s", want, out.String())
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "-C", fixture("encap"), "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on encap fixture, want 1; stderr: %s", code, errOut.String())
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if rep.Count != 5 || len(rep.Findings) != 5 {
+		t.Fatalf("encap fixture: count=%d findings=%d, want 5/5", rep.Count, len(rep.Findings))
+	}
+	f := rep.Findings[0]
+	if f.Analyzer != "dcg-encapsulation" || f.File != "internal/core/engine.go" || f.Line != 10 || f.Col == 0 || f.Message == "" {
+		t.Errorf("first finding malformed: %+v", f)
+	}
+}
+
+// TestAnnotationSuppression checks end to end that //tf: directives silence
+// the analyzers: the hotpath fixture contains both flagged and suppressed
+// allocation sites, and only the flagged ones must surface.
+func TestAnnotationSuppression(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "-C", fixture("hotpath"), "./..."}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit %d on hotpath fixture, want 1; stderr: %s", code, errOut.String())
+	}
+	var rep report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings {
+		if f.Line == 49 {
+			t.Errorf("//tf:alloc-ok site was still reported: %+v", f)
+		}
+		if f.Line == 54 {
+			t.Errorf("unannotated (cold) function was reported: %+v", f)
+		}
+	}
+	if len(rep.Findings) != 3 {
+		t.Errorf("hotpath fixture reported %d findings, want 3: %+v", len(rep.Findings), rep.Findings)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("exit %d on unknown flag, want 2", code)
+	}
+}
+
+func TestMissingDirExitsTwo(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-C", filepath.Join("..", "..", "no-such-dir")}, &out, &errOut); code != 2 {
+		t.Errorf("exit %d on missing directory, want 2", code)
+	}
+	if errOut.String() == "" {
+		t.Error("missing directory produced no stderr diagnostics")
+	}
+}

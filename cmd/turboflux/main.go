@@ -119,7 +119,7 @@ func loadGraph(path string) (*turboflux.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //tf:unchecked-ok read-only file
 	br := bufio.NewReader(f)
 	if magic, err := br.Peek(4); err == nil && string(magic) == "TFG1" {
 		return graph.ReadBinary(br)
@@ -190,6 +190,6 @@ func loadUpdates(path string) ([]turboflux.Update, error) {
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
+	defer f.Close() //tf:unchecked-ok read-only file
 	return turboflux.DecodeStream(f)
 }

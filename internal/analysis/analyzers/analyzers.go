@@ -1,0 +1,65 @@
+// Package analyzers holds the turboflux-vet analyzer suite: five checks
+// that machine-enforce TurboFlux invariants the compiler cannot see. See
+// DESIGN.md, "Enforced invariants", for the invariant each check guards
+// and the suppression annotations it honors.
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"turboflux/internal/analysis"
+)
+
+// All returns the full analyzer suite in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		OracleIsolation,
+		DCGEncapsulation,
+		DeterministicEmission,
+		HotpathAlloc,
+		UncheckedError,
+	}
+}
+
+// emissionScope lists the module-relative package paths whose code runs on
+// match-emission or matching-order paths: the root package fans matches
+// out to OnMatch callbacks, core emits them, dcg enumerates the candidates
+// they are built from, and query computes the matching order.
+var emissionScope = map[string]bool{
+	"":               true,
+	"internal/core":  true,
+	"internal/dcg":   true,
+	"internal/query": true,
+}
+
+// enclosingFuncDecl returns the top-level function declaration containing
+// pos in file, or nil.
+func enclosingFuncDecl(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, decl := range file.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Pos() <= pos && pos < fn.End() {
+			return fn
+		}
+	}
+	return nil
+}
+
+// enclosingFunc returns the innermost function body (FuncDecl or FuncLit)
+// containing pos.
+func enclosingFunc(file *ast.File, pos token.Pos) ast.Node {
+	var best ast.Node
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos || pos >= n.End() {
+			return false
+		}
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			best = n
+		}
+		return true
+	})
+	return best
+}

@@ -1,0 +1,54 @@
+package analyzers
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"turboflux/internal/analysis"
+)
+
+// TestGolden runs the full analyzer suite over every fixture module under
+// testdata/src and compares the formatted diagnostics against the module's
+// want.txt. Each fixture is a self-contained mini-module named "turboflux" so
+// the analyzers' package-scope rules apply exactly as they do on the real tree.
+func TestGolden(t *testing.T) {
+	cases, err := filepath.Glob(filepath.Join("testdata", "src", "*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("no fixture modules under testdata/src")
+	}
+	for _, dir := range cases {
+		dir := dir
+		t.Run(filepath.Base(dir), func(t *testing.T) {
+			diags, err := analysis.Run(dir, []string{"./..."}, All())
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			abs, err := filepath.Abs(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got strings.Builder
+			for _, d := range diags {
+				rel, err := filepath.Rel(abs, d.Position.Filename)
+				if err != nil {
+					rel = d.Position.Filename
+				}
+				fmt.Fprintf(&got, "%s:%d: [%s] %s\n",
+					filepath.ToSlash(rel), d.Position.Line, d.Analyzer, d.Message)
+			}
+			want, err := os.ReadFile(filepath.Join(dir, "want.txt"))
+			if err != nil {
+				t.Fatalf("reading golden file: %v", err)
+			}
+			if got.String() != string(want) {
+				t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got.String(), want)
+			}
+		})
+	}
+}

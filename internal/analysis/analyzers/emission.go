@@ -1,0 +1,86 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"turboflux/internal/analysis"
+)
+
+// DeterministicEmission flags `range` over a map in packages on the
+// match-emission and matching-order paths. Go randomizes map iteration
+// order per loop, so a map range anywhere between candidate enumeration
+// and OnMatch delivery makes match order — and therefore every
+// golden-output comparison and replay — nondeterministic. A loop is
+// accepted when its results are sorted later in the same function, or when
+// it is annotated //tf:unordered-ok (order-independent accumulation such
+// as building a set, counting, or finding an error).
+var DeterministicEmission = &analysis.Analyzer{
+	Name: "deterministic-emission",
+	Doc:  "no unordered map iteration on match-emission or matching-order paths",
+	Run:  runDeterministicEmission,
+}
+
+func runDeterministicEmission(pass *analysis.Pass) error {
+	if !emissionScope[pass.RelPath()] {
+		return nil
+	}
+	for _, file := range pass.Pkg.Files {
+		ann := pass.Annotations(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.Pkg.TypesInfo.Types[rng.X]
+			if !ok || tv.Type == nil {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if ann.At(rng.Pos(), "unordered-ok") {
+				return true
+			}
+			if sortedAfter(pass, file, rng) {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"map iteration order is nondeterministic and this package is on the match-emission/matching-order path; sort the collected results or annotate //tf:unordered-ok with a justification")
+			return true
+		})
+	}
+	return nil
+}
+
+// sortedAfter reports whether the enclosing function calls into package
+// sort or slices after the range loop ends — the collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) bool {
+	fn := enclosingFunc(file, rng.Pos())
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pn, ok := pass.Pkg.TypesInfo.Uses[id].(*types.PkgName); ok {
+			p := pn.Imported().Path()
+			if p == "sort" || p == "slices" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,101 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+
+	"turboflux/internal/analysis"
+)
+
+// protectedPkgs are the packages whose state may only be mutated through
+// their own exported API: the DCG (every state change must flow through
+// MakeTransition so the explicit-edge counters, out-adjacency and
+// per-label totals stay consistent) and the data graph (every mutation
+// must flow through InsertEdge/DeleteEdge/EnsureVertex so degree counts
+// and label indexes stay consistent).
+var protectedPkgs = []string{"internal/dcg", "internal/graph"}
+
+// DCGEncapsulation flags writes to fields of DCG/graph types from outside
+// their owning packages. Today Go's export rules already make most such
+// writes impossible; the analyzer is defense in depth for the day a field
+// is exported for read access — a pointer-mediated write from core would
+// silently desynchronize the DCG's counters from its stored edges.
+var DCGEncapsulation = &analysis.Analyzer{
+	Name: "dcg-encapsulation",
+	Doc:  "DCG and graph state may only be mutated through their exported transition APIs",
+	Run:  runDCGEncapsulation,
+}
+
+func runDCGEncapsulation(pass *analysis.Pass) error {
+	rel := pass.RelPath()
+	for _, p := range protectedPkgs {
+		if rel == p {
+			return nil // the owning package maintains its own invariants
+		}
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range st.Lhs {
+					checkProtectedWrite(pass, lhs, "assignment to")
+				}
+			case *ast.IncDecStmt:
+				checkProtectedWrite(pass, st.X, st.Tok.String()+" on")
+			case *ast.CallExpr:
+				if id, ok := st.Fun.(*ast.Ident); ok && len(st.Args) > 0 {
+					if b, ok := pass.Pkg.TypesInfo.Uses[id].(*types.Builtin); ok &&
+						(b.Name() == "delete" || b.Name() == "clear") {
+						checkProtectedWrite(pass, st.Args[0], b.Name()+" on")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkProtectedWrite reports expr when it writes through a field of a
+// protected type reached via a pointer (a value-copy field write only
+// mutates the local copy and is harmless).
+func checkProtectedWrite(pass *analysis.Pass, expr ast.Expr, verb string) {
+	sel := baseSelector(expr)
+	if sel == nil {
+		return
+	}
+	selection := pass.Pkg.TypesInfo.Selections[sel]
+	if selection == nil || selection.Kind() != types.FieldVal {
+		return
+	}
+	recv := selection.Recv()
+	named, ok := pass.TypeInPackages(recv, protectedPkgs...)
+	if !ok {
+		return
+	}
+	if _, isPtr := recv.(*types.Pointer); !isPtr && !selection.Indirect() {
+		return // write to a local value copy
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"%s field %s.%s outside its owning package; mutate it through the exported transition API",
+		verb, named.Obj().Name(), sel.Sel.Name)
+}
+
+// baseSelector unwraps parens, indexes and derefs down to the selector
+// being written through: d.in[u][v] = s  ->  d.in.
+func baseSelector(expr ast.Expr) *ast.SelectorExpr {
+	for {
+		switch e := expr.(type) {
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		case *ast.SelectorExpr:
+			return e
+		default:
+			return nil
+		}
+	}
+}

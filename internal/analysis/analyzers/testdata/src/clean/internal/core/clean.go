@@ -1,0 +1,10 @@
+package core
+
+// Sum is trivially invariant-clean.
+func Sum(vs []int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}

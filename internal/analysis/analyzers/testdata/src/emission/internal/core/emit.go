@@ -1,0 +1,39 @@
+package core
+
+import "sort"
+
+// EmitUnsorted iterates a map on an emission path without ordering.
+func EmitUnsorted(counts map[int]int, emit func(int)) {
+	for v := range counts {
+		emit(v)
+	}
+}
+
+// EmitSorted collects then sorts before emitting: no finding.
+func EmitSorted(counts map[int]int, emit func(int)) {
+	vs := make([]int, 0, len(counts))
+	for v := range counts {
+		vs = append(vs, v)
+	}
+	sort.Ints(vs)
+	for _, v := range vs {
+		emit(v)
+	}
+}
+
+// Tally accumulates order-independently and says so: no finding.
+func Tally(counts map[int]int) int {
+	total := 0
+	//tf:unordered-ok summing is order-independent
+	for _, n := range counts {
+		total += n
+	}
+	return total
+}
+
+// Slices are ordered; ranging one is fine.
+func EmitSlice(vs []int, emit func(int)) {
+	for _, v := range vs {
+		emit(v)
+	}
+}

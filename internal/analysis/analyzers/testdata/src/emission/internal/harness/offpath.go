@@ -1,0 +1,10 @@
+package harness
+
+// OffPath ranges a map outside the emission scope: no finding.
+func OffPath(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"turboflux/internal/dcg"
+	"turboflux/internal/graph"
+)
+
+// Corrupt bypasses the transition API in four different ways.
+func Corrupt(d *dcg.DCG, g *graph.Graph) {
+	d.NumEdges = 7
+	d.NumEdges++
+	d.In[1] = 2
+	delete(d.In, 1)
+	g.NumEdges--
+}
+
+// LocalCopy mutates a value copy of a DCG type: harmless, no finding.
+func LocalCopy() dcg.EdgeKey {
+	var k dcg.EdgeKey
+	k.From = 1
+	return k
+}
+
+// ThroughAPI mutates via the exported API: no finding.
+func ThroughAPI(d *dcg.DCG) {
+	d.MakeTransition(1)
+}

@@ -1,0 +1,16 @@
+package dcg
+
+// DCG exposes fields for read access; writes must go through the API.
+type DCG struct {
+	NumEdges int
+	In       map[int]int
+}
+
+// EdgeKey is a value type; mutating a local copy is harmless.
+type EdgeKey struct {
+	From int
+	To   int
+}
+
+// MakeTransition is the exported mutation API.
+func (d *DCG) MakeTransition(delta int) { d.NumEdges += delta }

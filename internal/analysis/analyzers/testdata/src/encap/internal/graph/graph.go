@@ -1,0 +1,6 @@
+package graph
+
+// Graph exposes a counter for reading.
+type Graph struct {
+	NumEdges int
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// mayFail sometimes fails.
+func mayFail(v int) error {
+	if v < 0 {
+		return errors.New("negative")
+	}
+	return nil
+}
+
+// Discards drops errors three ways.
+func Discards() {
+	mayFail(1)
+	go mayFail(2)
+	defer mayFail(3)
+}
+
+// Checked handles the error: no finding.
+func Checked() error {
+	if err := mayFail(1); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Deliberate documents the discard: no finding.
+func Deliberate() {
+	mayFail(1) //tf:unchecked-ok best-effort cleanup
+}
+
+// Printing is whitelisted: no finding.
+func Printing() {
+	fmt.Println("hello")
+}

@@ -1,0 +1,21 @@
+package core
+
+import "turboflux/internal/dcg"
+
+// FastPath wrongly reaches for the oracle in production code.
+func FastPath() int {
+	states := dcg.ComputeSpec(4)
+	return len(states)
+}
+
+// Ablation is a gated slow path; the directive permits the oracle here.
+//
+//tf:oracle-ok naive-rebuild ablation
+func Ablation() int {
+	return len(dcg.ComputeSpec(4))
+}
+
+// Transitions uses only the transition API: no finding.
+func Transitions() dcg.State {
+	return dcg.MakeTransition(1)
+}

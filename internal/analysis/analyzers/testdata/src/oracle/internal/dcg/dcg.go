@@ -1,0 +1,7 @@
+package dcg
+
+// State mirrors the real DCG edge state.
+type State uint8
+
+// MakeTransition stands in for the transition API.
+func MakeTransition(s State) State { return s }

@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Annotations indexes the //tf: directive comments of one file by line.
+// A directive suppresses or opts in a check for the statement it is
+// written on (trailing comment) or the statement on the following line.
+type Annotations struct {
+	fset  *token.FileSet
+	lines map[int][]string // line -> directive names ("hotpath", ...)
+}
+
+// CollectAnnotations scans every comment of f for //tf:<name> directives.
+// The file must have been parsed with parser.ParseComments.
+func CollectAnnotations(fset *token.FileSet, f *ast.File) *Annotations {
+	a := &Annotations{fset: fset, lines: make(map[int][]string)}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			name, ok := directiveName(c.Text)
+			if !ok {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			a.lines[line] = append(a.lines[line], name)
+		}
+	}
+	return a
+}
+
+// directiveName extracts "unordered-ok" from "//tf:unordered-ok reason...".
+func directiveName(comment string) (string, bool) {
+	rest, ok := strings.CutPrefix(comment, "//tf:")
+	if !ok {
+		return "", false
+	}
+	if i := strings.IndexAny(rest, " \t"); i >= 0 {
+		rest = rest[:i]
+	}
+	return rest, rest != ""
+}
+
+// At reports whether directive name is attached to the node starting at
+// pos: on the same line, or on the line directly above it.
+func (a *Annotations) At(pos token.Pos, name string) bool {
+	line := a.fset.Position(pos).Line
+	return a.onLine(line, name) || a.onLine(line-1, name)
+}
+
+func (a *Annotations) onLine(line int, name string) bool {
+	for _, n := range a.lines[line] {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FuncAnnotated reports whether fn carries the directive: anywhere in its
+// doc comment, or line-attached to the func keyword.
+func (a *Annotations) FuncAnnotated(fn *ast.FuncDecl, name string) bool {
+	if fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if n, ok := directiveName(c.Text); ok && n == name {
+				return true
+			}
+		}
+	}
+	return a.At(fn.Pos(), name)
+}

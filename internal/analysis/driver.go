@@ -1,0 +1,134 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ExpandPatterns resolves go-tool-style package patterns ("./...",
+// "./internal/core", ".") relative to dir into package directories:
+// directories containing at least one non-test .go file. testdata, vendor,
+// hidden and underscore-prefixed directories are skipped, as are nested
+// modules (a subdirectory with its own go.mod).
+func ExpandPatterns(dir string, patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "" {
+				pat = "."
+			}
+		}
+		base := filepath.Join(dir, filepath.FromSlash(pat))
+		fi, err := os.Stat(base)
+		if err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("analysis: pattern %q: no such directory", pat)
+		}
+		if !recursive {
+			if hasGoFiles(base) {
+				add(base)
+			} else {
+				return nil, fmt.Errorf("analysis: no Go files in %s", base)
+			}
+			continue
+		}
+		err = filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if p != base {
+				if _, err := os.Stat(filepath.Join(p, "go.mod")); err == nil {
+					return filepath.SkipDir // nested module
+				}
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") &&
+			!strings.HasSuffix(name, "_test.go") && !strings.HasPrefix(name, ".") {
+			return true
+		}
+	}
+	return false
+}
+
+// Run loads every package selected by patterns (resolved relative to dir,
+// whose enclosing module becomes the analysis root) and applies each
+// analyzer to each package. Diagnostics come back sorted; an error means
+// the analysis could not run (unreadable pattern, type-check failure), not
+// that findings exist.
+func Run(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	root, err := FindModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	dirs, err := ExpandPatterns(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, d := range dirs {
+		pkg, err := loader.LoadDir(d)
+		if err != nil {
+			return nil, err
+		}
+		for _, az := range analyzers {
+			pass := &Pass{
+				Analyzer:   az,
+				Fset:       loader.Fset,
+				ModulePath: loader.ModulePath,
+				Pkg:        pkg,
+				report:     func(dg Diagnostic) { diags = append(diags, dg) },
+			}
+			if err := az.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", az.Name, pkg.Path, err)
+			}
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}

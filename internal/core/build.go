@@ -14,6 +14,8 @@ import (
 // Deviation from the pseudo-code, documented in DESIGN.md §3.2: recursion
 // only follows an actual NULL→IMPLICIT change, which terminates the
 // traversal on cyclic data graphs.
+//
+//tf:hotpath
 func (e *Engine) buildDCG(u graph.VertexID, v, v2 graph.VertexID) {
 	if !e.charge() {
 		return
@@ -53,6 +55,8 @@ func (e *Engine) buildDCG(u graph.VertexID, v, v2 graph.VertexID) {
 
 // buildSubtrees recurses into every matching child edge of v2 (Algorithm 3,
 // Lines 3–5).
+//
+//tf:hotpath
 func (e *Engine) buildSubtrees(u graph.VertexID, v2 graph.VertexID) {
 	for _, uc := range e.tree.Children[u] {
 		te := e.tree.ParentEdge[uc]

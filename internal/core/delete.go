@@ -12,6 +12,8 @@ import (
 // (ClearUpwardsAndEval applies Transition 4 after the searches), and then
 // the DCG subtree hanging off the edge is cleared (Transitions 3 and 5).
 // Non-tree matches seed transition-free upward traversals.
+//
+//tf:hotpath
 func (e *Engine) deleteEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.VertexID) {
 	for uc := 0; uc < e.q.NumVertices(); uc++ {
 		ucv := graph.VertexID(uc)
@@ -82,6 +84,8 @@ func (e *Engine) deleteEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.Ver
 // → IMPLICIT) to the climbed edge when the deleted edge was v's last
 // explicit support for child label uChild. uChild is graph.NoVertex for
 // non-tree triggers, which never transition.
+//
+//tf:hotpath
 func (e *Engine) clearUpwardsAndEval(u graph.VertexID, v graph.VertexID, uChild graph.VertexID, transit, searchable bool) {
 	if !e.charge() {
 		return
@@ -131,6 +135,8 @@ func (e *Engine) clearUpwardsAndEval(u graph.VertexID, v graph.VertexID, uChild 
 // it was explicit, Transition 5 if implicit) and, when v2 thereby loses its
 // last incoming u-edge, recursively null the orphaned subtree below it
 // (Case 2 of Transitions 3 and 5).
+//
+//tf:hotpath
 func (e *Engine) clearDCG(u graph.VertexID, v, v2 graph.VertexID) {
 	if !e.charge() {
 		return

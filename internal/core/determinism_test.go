@@ -1,0 +1,132 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+)
+
+// detStream builds a seeded insert/delete stream over a data graph dense
+// enough that single updates trigger fan-out (multiple matches reported in
+// one SubgraphSearch) — the regime where map-iteration order would leak
+// into the output if any emission path were unordered.
+func detStream(t *testing.T) (*graph.Graph, []detOp) {
+	t.Helper()
+	g := graph.New()
+	// Three label classes, several vertices each, so every query vertex has
+	// competing candidates.
+	for v := graph.VertexID(0); v < 4; v++ {
+		if err := g.AddVertex(v, lA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := graph.VertexID(10); v < 16; v++ {
+		if err := g.AddVertex(v, lB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := graph.VertexID(20); v < 28; v++ {
+		if err := g.AddVertex(v, lC); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := graph.VertexID(30); v < 36; v++ {
+		if err := g.AddVertex(v, lD); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	pick := func(lo, n int) graph.VertexID { return graph.VertexID(lo + rng.Intn(n)) }
+	var ops []detOp
+	live := map[graph.Edge]bool{}
+	for i := 0; i < 400; i++ {
+		var e graph.Edge
+		switch rng.Intn(4) {
+		case 0:
+			e = graph.Edge{From: pick(0, 4), Label: e1, To: pick(10, 6)}
+		case 1:
+			e = graph.Edge{From: pick(10, 6), Label: e2, To: pick(20, 8)}
+		case 2:
+			e = graph.Edge{From: pick(10, 6), Label: e3, To: pick(20, 8)}
+		default:
+			e = graph.Edge{From: pick(20, 8), Label: e4, To: pick(30, 6)}
+		}
+		if live[e] {
+			ops = append(ops, detOp{edge: e, insert: false})
+			delete(live, e)
+		} else {
+			ops = append(ops, detOp{edge: e, insert: true})
+			live[e] = true
+		}
+	}
+	return g, ops
+}
+
+type detOp struct {
+	edge   graph.Edge
+	insert bool
+}
+
+// runStream replays ops through a fresh engine and returns the full ordered
+// match transcript, one line per reported match.
+func runStream(t *testing.T, q *query.Graph, ops []detOp, sem Semantics) string {
+	t.Helper()
+	g, _ := detStream(t)
+	var b strings.Builder
+	opt := DefaultOptions()
+	opt.Semantics = sem
+	opt.OnMatch = func(positive bool, m []graph.VertexID) {
+		sign := "+"
+		if !positive {
+			sign = "-"
+		}
+		fmt.Fprintf(&b, "%s %v\n", sign, m)
+	}
+	e, err := New(g, q, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.InitialMatches()
+	for _, op := range ops {
+		var err error
+		if op.insert {
+			_, err = e.InsertEdge(op.edge.From, op.edge.Label, op.edge.To)
+		} else {
+			_, err = e.DeleteEdge(op.edge.From, op.edge.Label, op.edge.To)
+		}
+		if err != nil {
+			t.Fatalf("op %+v: %v", op, err)
+		}
+	}
+	return b.String()
+}
+
+// TestDeterministicEmission is the regression companion of the
+// deterministic-emission analyzer: replaying the identical update stream
+// through two fresh engines must produce byte-identical match transcripts,
+// in both semantics. Map-order leakage anywhere on the emission path
+// (candidate snapshots, root seeding, search fan-out) breaks this with high
+// probability given the fan-out in the stream.
+func TestDeterministicEmission(t *testing.T) {
+	_, ops := detStream(t)
+	for _, sem := range []Semantics{Homomorphism, Isomorphism} {
+		t.Run(sem.String(), func(t *testing.T) {
+			q := figure1Query(t)
+			first := runStream(t, q, ops, sem)
+			if !strings.Contains(first, "+") || !strings.Contains(first, "-") {
+				t.Fatalf("stream produced no positive or no negative matches; transcript:\n%.400s", first)
+			}
+			for round := 0; round < 3; round++ {
+				again := runStream(t, figure1Query(t), ops, sem)
+				if again != first {
+					t.Fatalf("round %d: transcripts differ\nfirst:\n%.600s\nagain:\n%.600s", round, first, again)
+				}
+			}
+		})
+	}
+}

@@ -11,6 +11,8 @@ import (
 // becomes EXPLICIT, the engine builds upward toward the starting vertices
 // and runs SubgraphSearch to report positive matches. Non-tree query edges
 // never modify the DCG; they only seed upward traversals.
+//
+//tf:hotpath
 func (e *Engine) insertEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.VertexID) {
 	// New data vertices that satisfy L(u_s) become starting vertices: treat
 	// them as hypothetical (v*_s, v_s) insertions first (Section 3.2).
@@ -91,6 +93,8 @@ func (e *Engine) insertEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.Ver
 // ensureRootEdge creates the root DCG edge (v*_s, u_s, w) for a data
 // vertex that matches L(u_s) but has no root edge yet — the streaming
 // analogue of the hypothetical insertions used to build the initial DCG.
+//
+//tf:hotpath
 func (e *Engine) ensureRootEdge(w graph.VertexID) {
 	us := e.tree.Root
 	if e.d.GetState(graph.NoVertex, us, w) != dcg.Null {
@@ -112,6 +116,8 @@ func (e *Engine) ensureRootEdge(w graph.VertexID) {
 // to another query vertex under isomorphism) invalidates the search but the
 // DCG transitions — which are semantics-independent — must still be applied
 // all the way up.
+//
+//tf:hotpath
 func (e *Engine) buildUpwardsAndEval(u graph.VertexID, v graph.VertexID, transit, searchable bool) {
 	if !e.charge() {
 		return

@@ -44,11 +44,15 @@ func (e *Engine) maybeAdjustOrder() {
 }
 
 // rebuildFromSpec replaces the DCG with the declarative fixpoint of the
-// edge transition model (Algorithm 1, EL) computed from scratch. Only used
-// by the NaiveEL ablation.
+// edge transition model (Algorithm 1, EL) computed from scratch. Only
+// reachable behind Options.NaiveEL — the from-scratch ablation of the
+// enhanced maintenance algorithms — never from the incremental fast path.
+//
+//tf:oracle-ok gated NaiveEL ablation slow path
 func (e *Engine) rebuildFromSpec() {
 	states := dcg.ComputeSpec(e.g, e.tree)
 	d := dcg.New(e.tree)
+	//tf:unordered-ok transitions to absolute states commute
 	for k, s := range states {
 		d.MakeTransition(k.From, k.QV, k.To, s)
 	}

@@ -11,6 +11,8 @@ import (
 // by the upward traversals are validated rather than enumerated; completed
 // mappings are reported through Engine.report, which applies duplicate
 // avoidance against the current trigger edge.
+//
+//tf:hotpath
 func (e *Engine) subgraphSearch(dc int) {
 	if !e.charge() {
 		return
@@ -47,12 +49,19 @@ func (e *Engine) subgraphSearch(dc int) {
 		e.searchWCO(u, vp, dc)
 		return
 	}
-	e.d.ExplicitChildren(vp, u, func(v graph.VertexID) bool {
+	// Candidates come straight from the DCG-owned out-adjacency slice. The
+	// search phase applies no DCG transitions, so the slice is stable for
+	// the duration of the loop; iterating it directly avoids allocating a
+	// visitor closure at every search node.
+	for _, v := range e.d.ExplicitChildrenList(vp, u) {
+		if e.aborted {
+			return
+		}
 		e.tryCandidate(u, v, dc)
-		return !e.aborted
-	})
+	}
 }
 
+//tf:hotpath
 func (e *Engine) tryCandidate(u, v graph.VertexID, dc int) {
 	if !e.usable(v) {
 		return
@@ -69,6 +78,8 @@ func (e *Engine) tryCandidate(u, v graph.VertexID, dc int) {
 // already-mapped query vertex has a corresponding data edge when u maps to
 // v (IsJoinable in Algorithm 7; the total-order duplicate check moved to
 // report time, see Engine.report).
+//
+//tf:hotpath
 func (e *Engine) isJoinable(u, v graph.VertexID) bool {
 	for _, nt := range e.tree.NonTreeAt[u] {
 		qe := e.q.Edge(nt)

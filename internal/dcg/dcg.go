@@ -22,6 +22,7 @@ package dcg
 
 import (
 	"fmt"
+	"slices"
 
 	"turboflux/internal/graph"
 	"turboflux/internal/query"
@@ -67,6 +68,7 @@ type outAdj struct {
 	pos  map[graph.VertexID]int32
 }
 
+//tf:hotpath
 func (a *outAdj) add(v graph.VertexID) {
 	if a.pos == nil {
 		a.pos = make(map[graph.VertexID]int32)
@@ -75,6 +77,7 @@ func (a *outAdj) add(v graph.VertexID) {
 	a.list = append(a.list, v)
 }
 
+//tf:hotpath
 func (a *outAdj) remove(v graph.VertexID) {
 	i, ok := a.pos[v]
 	if !ok {
@@ -142,6 +145,8 @@ func (d *DCG) getNode(v graph.VertexID) *node {
 
 // GetState returns the state of DCG edge (v, u, v2). Use graph.NoVertex as
 // v for root-labeled edges (v*_s, u_s, v2).
+//
+//tf:hotpath
 func (d *DCG) GetState(v graph.VertexID, u graph.VertexID, v2 graph.VertexID) State {
 	n := d.nodes[v2]
 	if n == nil || n.in[u] == nil {
@@ -154,6 +159,8 @@ func (d *DCG) GetState(v graph.VertexID, u graph.VertexID, v2 graph.VertexID) St
 // reports whether the stored state actually changed. Counts (per-vertex
 // explicit-out, per-label explicit totals, total edges) are maintained
 // here so every engine path stays consistent.
+//
+//tf:hotpath
 func (d *DCG) MakeTransition(v graph.VertexID, u graph.VertexID, v2 graph.VertexID, target State) bool {
 	cur := d.GetState(v, u, v2)
 	if cur == target {
@@ -200,6 +207,8 @@ func (d *DCG) MakeTransition(v graph.VertexID, u graph.VertexID, v2 graph.Vertex
 
 // InDegree returns the number of stored (implicit or explicit) incoming
 // edges of v2 labeled u — the paper's |GetImplAndExplEdges(v2, u, in)|.
+//
+//tf:hotpath
 func (d *DCG) InDegree(v2 graph.VertexID, u graph.VertexID) int {
 	n := d.nodes[v2]
 	if n == nil || n.in[u] == nil {
@@ -208,7 +217,8 @@ func (d *DCG) InDegree(v2 graph.VertexID, u graph.VertexID) int {
 	return len(n.in[u])
 }
 
-// ForEachInEdge calls fn for every stored incoming edge (parent, u, v2).
+// ForEachInEdge calls fn for every stored incoming edge (parent, u, v2)
+// in unspecified order — callers must not derive emission order from it.
 // fn must not mutate the DCG for edges labeled u of v2; engines that need
 // to mutate during iteration snapshot the parents first (see InParents).
 func (d *DCG) ForEachInEdge(v2 graph.VertexID, u graph.VertexID, fn func(parent graph.VertexID, s State)) {
@@ -216,13 +226,18 @@ func (d *DCG) ForEachInEdge(v2 graph.VertexID, u graph.VertexID, fn func(parent 
 	if n == nil || n.in[u] == nil {
 		return
 	}
+	//tf:unordered-ok documented order-free; ordered callers use InParents
 	for p, s := range n.in[u] {
 		fn(p, s)
 	}
 }
 
 // InParents returns a snapshot of the parents of v2's stored incoming
-// edges labeled u, optionally restricted to explicit edges.
+// edges labeled u, optionally restricted to explicit edges, in ascending
+// vertex order. The upward traversals climb these snapshots on the way to
+// reporting matches, so their order must not inherit Go's randomized map
+// iteration — sorting here is what makes match emission reproducible for
+// a given update stream.
 func (d *DCG) InParents(v2 graph.VertexID, u graph.VertexID, explicitOnly bool) []graph.VertexID {
 	n := d.nodes[v2]
 	if n == nil || n.in[u] == nil {
@@ -235,11 +250,14 @@ func (d *DCG) InParents(v2 graph.VertexID, u graph.VertexID, explicitOnly bool) 
 		}
 		out = append(out, p)
 	}
+	slices.Sort(out)
 	return out
 }
 
 // HasInLabel reports whether v has at least one stored incoming edge
 // labeled u (the "u ∈ U" test in Algorithms 5 and 8).
+//
+//tf:hotpath
 func (d *DCG) HasInLabel(v graph.VertexID, u graph.VertexID) bool {
 	return d.InDegree(v, u) > 0
 }
@@ -261,6 +279,8 @@ func (d *DCG) InLabels(v graph.VertexID) []graph.VertexID {
 }
 
 // ExplicitOut returns the number of outgoing EXPLICIT edges of v labeled u.
+//
+//tf:hotpath
 func (d *DCG) ExplicitOut(v graph.VertexID, u graph.VertexID) int32 {
 	n := d.nodes[v]
 	if n == nil {
@@ -272,6 +292,8 @@ func (d *DCG) ExplicitOut(v graph.VertexID, u graph.VertexID) int32 {
 // MatchAllChildren reports whether, for every child u' of u in the query
 // tree, v has an outgoing EXPLICIT edge labeled u' (Algorithm 4). O(1) per
 // child via the explicit-out counters.
+//
+//tf:hotpath
 func (d *DCG) MatchAllChildren(v graph.VertexID, u graph.VertexID) bool {
 	n := d.nodes[v]
 	children := d.tree.Children[u]
@@ -292,6 +314,8 @@ func (d *DCG) MatchAllChildren(v graph.VertexID, u graph.VertexID) bool {
 // Candidates come straight from the DCG's out-adjacency — never by
 // filtering data-graph neighbors — which keeps the search cost
 // proportional to the number of candidates, not the vertex degree.
+//
+//tf:hotpath
 func (d *DCG) ExplicitChildren(v graph.VertexID, u graph.VertexID, fn func(v2 graph.VertexID) bool) {
 	if u == d.tree.Root {
 		// Root candidates come from the artificial source; enumerate stored
@@ -313,6 +337,8 @@ func (d *DCG) ExplicitChildren(v graph.VertexID, u graph.VertexID, fn func(v2 gr
 // as a slice owned by the DCG: callers must not mutate it and must not
 // hold it across transitions. Used by the worst-case-optimal search to
 // pick the smallest candidate list before intersecting.
+//
+//tf:hotpath
 func (d *DCG) ExplicitChildrenList(v graph.VertexID, u graph.VertexID) []graph.VertexID {
 	n := d.nodes[v]
 	if n == nil {
@@ -322,7 +348,10 @@ func (d *DCG) ExplicitChildrenList(v graph.VertexID, u graph.VertexID) []graph.V
 }
 
 // RootCandidates returns the data vertices v_s whose root edge
-// (v*_s, u_s, v_s) is stored, filtered to explicit ones when explicitOnly.
+// (v*_s, u_s, v_s) is stored, filtered to explicit ones when explicitOnly,
+// in ascending vertex order. SubgraphSearch seeds from this slice, so a
+// deterministic order here is a precondition for deterministic match
+// emission.
 func (d *DCG) RootCandidates(explicitOnly bool) []graph.VertexID {
 	var out []graph.VertexID
 	us := d.tree.Root
@@ -334,6 +363,7 @@ func (d *DCG) RootCandidates(explicitOnly bool) []graph.VertexID {
 			out = append(out, v)
 		}
 	}
+	slices.Sort(out)
 	return out
 }
 
@@ -361,8 +391,10 @@ func (d *DCG) Validate() error {
 	edges, explicit := 0, 0
 	explByLabel := make([]int64, d.nq)
 	outExpl := make(map[graph.VertexID][]int32)
+	//tf:unordered-ok recounting into totals is order-independent
 	for v2, n := range d.nodes {
 		for u, m := range n.in {
+			//tf:unordered-ok recounting into totals is order-independent
 			for p, s := range m {
 				if s == Null {
 					return fmt.Errorf("dcg: stored NULL edge (%d,%d,%d)", p, u, v2)
@@ -394,6 +426,7 @@ func (d *DCG) Validate() error {
 			return fmt.Errorf("dcg: explByLabel[%d]=%d, stored=%d", u, d.explByLabel[u], explByLabel[u])
 		}
 	}
+	//tf:unordered-ok any stored inconsistency is reported, order-free
 	for v, n := range d.nodes {
 		want := outExpl[v]
 		for u := 0; u < d.nq; u++ {
@@ -424,8 +457,10 @@ func (d *DCG) Validate() error {
 // state. Used by the oracle-equivalence tests.
 func (d *DCG) Snapshot() map[EdgeKey]State {
 	out := make(map[EdgeKey]State, d.numEdges)
+	//tf:unordered-ok building a map result is order-independent
 	for v2, n := range d.nodes {
 		for u, m := range n.in {
+			//tf:unordered-ok building a map result is order-independent
 			for p, s := range m {
 				out[EdgeKey{From: p, QV: graph.VertexID(u), To: v2}] = s
 			}

@@ -48,6 +48,7 @@ func ComputeSpec(g *graph.Graph, t *query.Tree) map[EdgeKey]State {
 	for _, u := range pre[1:] {
 		te := t.ParentEdge[u]
 		uLabels := q.Labels(u)
+		//tf:unordered-ok the presence fixpoint is a set; order-free
 		for v := range candidates[te.Parent] {
 			var nbrs []graph.VertexID
 			if te.Forward {
@@ -74,6 +75,7 @@ func ComputeSpec(g *graph.Graph, t *query.Tree) map[EdgeKey]State {
 	states := make(map[EdgeKey]State, len(present))
 	for i := len(pre) - 1; i >= 0; i-- {
 		u := pre[i]
+		//tf:unordered-ok explicitness per label depends only on deeper labels
 		for k := range present {
 			if k.QV != u {
 				continue

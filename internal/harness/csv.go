@@ -77,12 +77,12 @@ func (c *CSVSink) Flush() error {
 		}
 		w := csv.NewWriter(f)
 		if err := w.WriteAll(rows); err != nil {
-			f.Close()
+			f.Close() //tf:unchecked-ok already failing; the write error wins
 			return err
 		}
 		w.Flush()
 		if err := w.Error(); err != nil {
-			f.Close()
+			f.Close() //tf:unchecked-ok already failing; the write error wins
 			return err
 		}
 		if err := f.Close(); err != nil {

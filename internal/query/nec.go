@@ -48,6 +48,7 @@ func NECCompress(q *Graph) (*Graph, bool) {
 		classes[key] = append(classes[key], graph.VertexID(u))
 	}
 	drop := make(map[graph.VertexID]bool)
+	//tf:unordered-ok builds the drop set; members are sorted per class
 	for _, members := range classes {
 		if len(members) < 2 {
 			continue

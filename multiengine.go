@@ -67,11 +67,13 @@ func (m *MultiEngine) Queries() []string {
 }
 
 // InitialMatches reports each registered query's matches over the current
-// graph and returns per-query counts.
+// graph and returns per-query counts. Queries evaluate in registration
+// order so the interleaving of OnMatch deliveries across queries is
+// deterministic, matching the fan-out order of Insert/Delete.
 func (m *MultiEngine) InitialMatches() map[string]int64 {
 	out := make(map[string]int64, len(m.engines))
-	for name, e := range m.engines {
-		out[name] = e.InitialMatches()
+	for _, name := range m.order {
+		out[name] = m.engines[name].InitialMatches()
 	}
 	return out
 }
@@ -144,6 +146,7 @@ func (m *MultiEngine) Graph() *Graph { return m.g }
 // Stats returns a per-query snapshot of engine counters, keyed by name.
 func (m *MultiEngine) Stats() map[string]Stats {
 	out := make(map[string]Stats, len(m.engines))
+	//tf:unordered-ok reads counters into a map; no matches are emitted
 	for name, e := range m.engines {
 		out[name] = Stats{
 			PositiveMatches:   e.PositiveCount(),
