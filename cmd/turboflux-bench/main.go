@@ -22,6 +22,8 @@ func main() {
 	cfg := harness.DefaultConfig(os.Stdout)
 	exp := flag.String("exp", "", "experiment id (see -list)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	durOut := flag.String("durability-out", "BENCH_durability.json", "report path for -exp durability")
+	durRecords := flag.Int("durability-records", 200000, "WAL record count for -exp durability")
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "LSBench scale factor (#users)")
 	flag.IntVar(&cfg.Hosts, "hosts", cfg.Hosts, "Netflow host count")
 	flag.IntVar(&cfg.Triples, "triples", cfg.Triples, "Netflow triple count")
@@ -39,11 +41,21 @@ func main() {
 
 	if *list {
 		fmt.Println(strings.Join(harness.Experiments(), "\n"))
+		fmt.Println("durability")
 		return
 	}
 	if *exp == "" {
 		fmt.Fprintln(os.Stderr, "turboflux-bench: -exp is required (try -list)")
 		os.Exit(2)
+	}
+	if *exp == "durability" {
+		start := time.Now()
+		if err := runDurability(*durOut, *durRecords); err != nil {
+			fmt.Fprintln(os.Stderr, "turboflux-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "\n[durability completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		return
 	}
 	start := time.Now()
 	if err := harness.Run(*exp, cfg); err != nil {

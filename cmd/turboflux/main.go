@@ -7,6 +7,12 @@
 // Usage:
 //
 //	turboflux -graph g0.txt -query q.txt -stream updates.txt [-iso] [-quiet]
+//	turboflux -data-dir state/ -query q.txt -stream updates.txt [-fsync always|interval|none]
+//
+// With -data-dir the engine runs in durable mode: every update is
+// journaled to a checksummed write-ahead log before evaluation, and on
+// restart the directory is recovered (newest snapshot + log tail) instead
+// of reloading -graph. The -graph file seeds a fresh directory only.
 //
 // File formats (see internal/stream): the graph and stream files hold one
 // record per line — "v <id> [<label>,...]" declares a vertex, "i <from>
@@ -20,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"turboflux"
 	"turboflux/internal/graph"
@@ -35,23 +42,31 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-match output, print totals only")
 	initial := flag.Bool("initial", false, "also report matches of the initial graph")
 	explain := flag.Bool("explain", false, "print the execution plan before streaming")
+	dataDir := flag.String("data-dir", "", "durable mode: journal updates and recover state from this directory")
+	fsync := flag.String("fsync", "interval", "durable-mode fsync policy: always, interval or none")
 	flag.Parse()
-	if *graphPath == "" || (*queryPath == "" && *pattern == "") || *streamPath == "" {
+	if (*graphPath == "" && *dataDir == "") || (*queryPath == "" && *pattern == "") || *streamPath == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*graphPath, *queryPath, *pattern, *streamPath, *iso, *quiet, *initial, *explain); err != nil {
+	if err := run(*graphPath, *queryPath, *pattern, *streamPath, *dataDir, *fsync, *iso, *quiet, *initial, *explain); err != nil {
 		fmt.Fprintln(os.Stderr, "turboflux:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, queryPath, pattern, streamPath string, iso, quiet, initial, explain bool) error {
-	g0, err := loadGraph(graphPath)
-	if err != nil {
-		return fmt.Errorf("loading graph: %w", err)
-	}
+// streamEngine is the part of the engine surface the streaming loop needs;
+// *turboflux.Engine and *turboflux.DurableEngine both provide it.
+type streamEngine interface {
+	InitialMatches() int64
+	ApplyAll([]turboflux.Update) (int64, error)
+	Explain() string
+	Stats() turboflux.Stats
+}
+
+func run(graphPath, queryPath, pattern, streamPath, dataDir, fsync string, iso, quiet, initial, explain bool) error {
 	var q *turboflux.Query
+	var err error
 	if pattern != "" {
 		// Pattern label names must be the numeric labels used in the data
 		// files; numericDict interns "12" as Label(12).
@@ -77,10 +92,34 @@ func run(graphPath, queryPath, pattern, streamPath string, iso, quiet, initial, 
 	if !quiet {
 		opt.OnMatch = printMatch
 	}
-	eng, err := turboflux.NewEngine(g0, q, opt)
-	if err != nil {
-		return err
+
+	var eng streamEngine
+	if dataDir != "" {
+		deng, err := openDurable(dataDir, graphPath, q, fsync, opt)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if err := deng.Compact(); err != nil {
+				fmt.Fprintln(os.Stderr, "turboflux: compacting:", err)
+			}
+			if err := deng.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "turboflux: closing store:", err)
+			}
+		}()
+		eng = deng
+	} else {
+		g0, err := loadGraph(graphPath)
+		if err != nil {
+			return fmt.Errorf("loading graph: %w", err)
+		}
+		meng, err := turboflux.NewEngine(g0, q, opt)
+		if err != nil {
+			return err
+		}
+		eng = meng
 	}
+
 	if explain {
 		fmt.Println(eng.Explain())
 	}
@@ -95,6 +134,32 @@ func run(graphPath, queryPath, pattern, streamPath string, iso, quiet, initial, 
 	fmt.Printf("# stream: %d updates, %d positive, %d negative, DCG %d edges\n",
 		len(ups), st.PositiveMatches, st.NegativeMatches, st.DCGEdges)
 	return nil
+}
+
+// openDurable opens the durable engine, seeding a fresh directory from
+// the -graph file (when given) and reporting what recovery found.
+func openDurable(dataDir, graphPath string, q *turboflux.Query, fsync string, opt turboflux.Options) (*turboflux.DurableEngine, error) {
+	dopt := turboflux.DurableOptions{Options: opt, Fsync: fsync}
+	if graphPath != "" {
+		boot, err := loadGraphUpdates(graphPath)
+		if err != nil {
+			return nil, fmt.Errorf("loading graph: %w", err)
+		}
+		dopt.Bootstrap = boot
+	}
+	deng, err := turboflux.OpenDurable(dataDir, q, dopt)
+	if err != nil {
+		return nil, err
+	}
+	rec := deng.Recovery()
+	switch {
+	case rec.Fresh:
+		fmt.Printf("# durable: fresh store in %s (fsync=%s)\n", dataDir, fsync)
+	default:
+		fmt.Printf("# durable: recovered snapshot@%d + %d replayed updates (%d torn bytes dropped)\n",
+			rec.SnapshotLSN, rec.Replayed, rec.TruncatedBytes)
+	}
+	return deng, nil
 }
 
 func printMatch(positive bool, m []turboflux.VertexID) {
@@ -133,6 +198,51 @@ func loadGraph(path string) (*turboflux.Graph, error) {
 		u.Apply(g)
 	}
 	return g, nil
+}
+
+// loadGraphUpdates reads a graph file as a bootstrap update history for
+// durable mode. Text files decode directly; binary snapshots are expanded
+// into vertex declarations and insertions in deterministic (sorted) order
+// so the journaled history is reproducible.
+func loadGraphUpdates(path string) ([]turboflux.Update, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() //tf:unchecked-ok read-only file
+	br := bufio.NewReader(f)
+	if magic, err := br.Peek(4); err == nil && string(magic) == "TFG1" {
+		g, err := graph.ReadBinary(br)
+		if err != nil {
+			return nil, err
+		}
+		return graphToUpdates(g), nil
+	}
+	return turboflux.DecodeStream(br)
+}
+
+func graphToUpdates(g *turboflux.Graph) []turboflux.Update {
+	var verts []turboflux.VertexID
+	g.ForEachVertex(func(v turboflux.VertexID) { verts = append(verts, v) })
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	ups := make([]turboflux.Update, 0, len(verts)+g.NumEdges())
+	for _, v := range verts {
+		ups = append(ups, turboflux.DeclareVertex(v, g.Labels(v)...))
+	}
+	edges := g.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].Label != edges[j].Label {
+			return edges[i].Label < edges[j].Label
+		}
+		return edges[i].To < edges[j].To
+	})
+	for _, e := range edges {
+		ups = append(ups, turboflux.Insert(e.From, e.Label, e.To))
+	}
+	return ups
 }
 
 func loadQuery(path string) (*turboflux.Query, error) {

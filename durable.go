@@ -1,0 +1,224 @@
+package turboflux
+
+import (
+	"fmt"
+	"time"
+
+	"turboflux/internal/durable"
+)
+
+// DurableOptions configures OpenDurable.
+type DurableOptions struct {
+	// Options configures the matching engine exactly as for NewEngine.
+	Options
+
+	// Fsync is the WAL sync policy: "always" (sync per update),
+	// "interval" (default: sync at most once per FsyncInterval) or
+	// "none" (sync only on Sync/Close).
+	Fsync string
+	// FsyncInterval is the "interval" policy period (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentSize rotates the log once the active segment reaches this
+	// many bytes (default 4 MiB).
+	SegmentSize int64
+
+	// VertexLabels / EdgeLabels, when non-nil, become the engine's label
+	// dictionaries. On a fresh store they are adopted as-is; on recovery
+	// the snapshot's names are re-interned into them first and must agree
+	// with any labels already interned (so patterns parsed through them
+	// keep meaning the same labels across restarts).
+	VertexLabels, EdgeLabels *Dict
+
+	// Bootstrap is an optional initial-graph history (vertex declarations
+	// and edge insertions). It is journaled and applied only when the
+	// store is fresh; on recovery it is ignored, because the store already
+	// contains it.
+	Bootstrap []Update
+}
+
+// RecoveryInfo describes what OpenDurable found on disk.
+type RecoveryInfo struct {
+	// SnapshotLSN is the log position covered by the snapshot recovery
+	// started from (0 when none existed).
+	SnapshotLSN uint64
+	// Replayed is the number of journaled updates re-applied on top.
+	Replayed int
+	// TruncatedBytes is the size of the torn or corrupt log tail
+	// discarded on open.
+	TruncatedBytes int
+	// Fresh reports that the directory held no prior state.
+	Fresh bool
+}
+
+// DurableEngine is an Engine whose update stream survives process
+// crashes: every Insert, Delete and Apply is journaled to a checksummed
+// write-ahead log before evaluation, and Compact writes an atomic
+// snapshot of the data graph and label dictionaries. Reopening the same
+// directory recovers the graph and resumes matching exactly where the
+// surviving log prefix ends.
+//
+// Matches are not journaled — they are recomputed from state. A recovered
+// engine reports the same matches for the same subsequent updates as one
+// that never crashed (see TestDurableTranscriptEquivalence).
+type DurableEngine struct {
+	store *durable.Store
+	eng   *Engine
+	rec   RecoveryInfo
+}
+
+// OpenDurable opens (or creates) the durable store in dir, recovers the
+// data graph from its newest valid snapshot plus the journaled tail, and
+// builds a matching engine for q over the recovered graph.
+func OpenDurable(dir string, q *Query, opt DurableOptions) (*DurableEngine, error) {
+	pol, err := durable.ParsePolicy(opt.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	st, err := durable.Open(dir, durable.Options{
+		Fsync:        pol,
+		FsyncEvery:   opt.FsyncInterval,
+		SegmentSize:  opt.SegmentSize,
+		VertexLabels: opt.VertexLabels,
+		EdgeLabels:   opt.EdgeLabels,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vd, err := adoptDict(opt.VertexLabels, st.VertexLabels(), "vertex")
+	if err != nil {
+		st.Close() //tf:unchecked-ok already failing
+		return nil, err
+	}
+	ed, err := adoptDict(opt.EdgeLabels, st.EdgeLabels(), "edge")
+	if err != nil {
+		st.Close() //tf:unchecked-ok already failing
+		return nil, err
+	}
+	st.SetDicts(vd, ed)
+
+	if st.Recovery().Fresh {
+		for _, u := range opt.Bootstrap {
+			if _, err := st.Append(u); err != nil {
+				st.Close() //tf:unchecked-ok already failing
+				return nil, err
+			}
+			u.Apply(st.Graph())
+		}
+	}
+
+	eng, err := NewEngine(st.Graph(), q, opt.Options)
+	if err != nil {
+		st.Close() //tf:unchecked-ok already failing
+		return nil, err
+	}
+	rec := st.Recovery()
+	return &DurableEngine{
+		store: st,
+		eng:   eng,
+		rec: RecoveryInfo{
+			SnapshotLSN:    rec.SnapshotLSN,
+			Replayed:       rec.Replayed,
+			TruncatedBytes: rec.TruncatedBytes,
+			Fresh:          rec.Fresh,
+		},
+	}, nil
+}
+
+// adoptDict merges the recovered dictionary names into the caller's
+// dictionary (when one was supplied) and returns the dictionary the
+// engine should use. Re-interning the recovered names in order must
+// reproduce the recovered labels, otherwise the caller's labels and the
+// persisted graph disagree.
+func adoptDict(user, recovered *Dict, kind string) (*Dict, error) {
+	if user == nil || user == recovered {
+		return recovered, nil
+	}
+	for i := 0; i < recovered.Len(); i++ {
+		name := recovered.Name(Label(i))
+		if got := user.Intern(name); got != Label(i) {
+			return nil, fmt.Errorf(
+				"turboflux: %s label dictionary mismatch: recovered %q as label %d, caller has it as %d",
+				kind, name, i, got)
+		}
+	}
+	return user, nil
+}
+
+// Recovery returns what OpenDurable found on disk.
+func (d *DurableEngine) Recovery() RecoveryInfo { return d.rec }
+
+// InitialMatches reports every match present in the recovered graph
+// through OnMatch and returns their count. Call it at most once, before
+// streaming updates.
+func (d *DurableEngine) InitialMatches() int64 { return d.eng.InitialMatches() }
+
+// Insert journals an edge insertion and then applies it, returning the
+// number of positive matches it produced.
+func (d *DurableEngine) Insert(from VertexID, l Label, to VertexID) (int64, error) {
+	if _, err := d.store.Append(Insert(from, l, to)); err != nil {
+		return 0, err
+	}
+	return d.eng.Insert(from, l, to)
+}
+
+// Delete journals an edge deletion and then applies it, returning the
+// number of negative matches it produced.
+func (d *DurableEngine) Delete(from VertexID, l Label, to VertexID) (int64, error) {
+	if _, err := d.store.Append(Delete(from, l, to)); err != nil {
+		return 0, err
+	}
+	return d.eng.Delete(from, l, to)
+}
+
+// Apply journals one stream update and then applies it.
+func (d *DurableEngine) Apply(u Update) (int64, error) {
+	if _, err := d.store.Append(u); err != nil {
+		return 0, err
+	}
+	return d.eng.Apply(u)
+}
+
+// ApplyAll journals and applies a batch of updates, returning the total
+// match count.
+func (d *DurableEngine) ApplyAll(ups []Update) (int64, error) {
+	var total int64
+	for _, u := range ups {
+		n, err := d.Apply(u)
+		if err != nil {
+			return total, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Compact writes a fresh snapshot covering the whole journaled history
+// and drops the log segments it makes obsolete, bounding both recovery
+// time and disk usage.
+func (d *DurableEngine) Compact() error { return d.store.Compact() }
+
+// Sync forces journaled updates to stable storage regardless of the
+// fsync policy.
+func (d *DurableEngine) Sync() error { return d.store.Sync() }
+
+// Close syncs and closes the journal. The engine is unusable afterwards;
+// reopen the directory with OpenDurable to resume.
+func (d *DurableEngine) Close() error { return d.store.Close() }
+
+// LSN returns the log position of the last journaled update.
+func (d *DurableEngine) LSN() uint64 { return d.store.LSN() }
+
+// Graph returns the engine's data graph. Treat it as read-only.
+func (d *DurableEngine) Graph() *Graph { return d.eng.Graph() }
+
+// VertexLabels returns the live vertex-label dictionary.
+func (d *DurableEngine) VertexLabels() *Dict { return d.store.VertexLabels() }
+
+// EdgeLabels returns the live edge-label dictionary.
+func (d *DurableEngine) EdgeLabels() *Dict { return d.store.EdgeLabels() }
+
+// Explain renders the engine's execution plan for diagnostics.
+func (d *DurableEngine) Explain() string { return d.eng.Explain() }
+
+// Stats returns a snapshot of the engine's counters.
+func (d *DurableEngine) Stats() Stats { return d.eng.Stats() }

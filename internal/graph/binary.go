@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"sort"
 )
 
 // Binary snapshot format: a compact varint encoding for persisting large
@@ -59,20 +60,29 @@ func (g *Graph) WriteBinary(w io.Writer) error {
 	if err := put(uint64(g.NumEdges())); err != nil {
 		return err
 	}
-	g.ForEachEdge(func(e Edge) {
-		if werr != nil {
-			return
+	// Emit edges in sorted order: the edge set lives in a map, and loading
+	// a snapshot rebuilds adjacency lists in file order, so an unsorted
+	// dump would make recovered match-emission order vary run to run.
+	es := g.Edges()
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
 		}
-		if werr = put(uint64(e.From)); werr != nil {
-			return
+		if es[i].Label != es[j].Label {
+			return es[i].Label < es[j].Label
 		}
-		if werr = put(uint64(e.Label)); werr != nil {
-			return
-		}
-		werr = put(uint64(e.To))
+		return es[i].To < es[j].To
 	})
-	if werr != nil {
-		return werr
+	for _, e := range es {
+		if err := put(uint64(e.From)); err != nil {
+			return err
+		}
+		if err := put(uint64(e.Label)); err != nil {
+			return err
+		}
+		if err := put(uint64(e.To)); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }

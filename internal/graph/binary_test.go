@@ -99,3 +99,44 @@ func TestBinaryErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestBinaryDeterministic: two graphs holding the same vertex/edge set —
+// even when built in different insertion orders — must serialize to the
+// same bytes. The durable store's recovery rebuilds adjacency lists in
+// file order, so snapshot bytes feed straight into match-emission order.
+func TestBinaryDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	type edge struct {
+		f, t VertexID
+		l    Label
+	}
+	var edges []edge
+	for i := 0; i < 300; i++ {
+		edges = append(edges, edge{VertexID(rng.Intn(40)), VertexID(rng.Intn(40)), Label(rng.Intn(4))})
+	}
+	build := func(perm []int) []byte {
+		g := New()
+		for v := VertexID(0); v < 40; v++ {
+			_ = g.AddVertex(v, Label(v%3))
+		}
+		for _, i := range perm {
+			g.InsertEdge(edges[i].f, edges[i].l, edges[i].t)
+		}
+		var buf bytes.Buffer
+		if err := g.WriteBinary(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	base := make([]int, len(edges))
+	for i := range base {
+		base[i] = i
+	}
+	want := build(base)
+	for trial := 0; trial < 5; trial++ {
+		perm := rng.Perm(len(edges))
+		if got := build(perm); !bytes.Equal(got, want) {
+			t.Fatalf("trial %d: serialization depends on insertion order", trial)
+		}
+	}
+}

@@ -1,6 +1,11 @@
 package graph
 
-import "fmt"
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
 
 // Dict interns strings to Labels. Vertex labels and edge labels use
 // separate Dict instances (separate namespaces), mirroring how RDF loaders
@@ -48,3 +53,60 @@ func (d *Dict) Name(l Label) string {
 
 // Len reports the number of interned labels.
 func (d *Dict) Len() int { return len(d.names) }
+
+// WriteBinary writes the dictionary in intern order: a varint count, then
+// each name as a varint length + bytes. Reading the stream back and
+// interning names in order reproduces identical Label assignments, which
+// is what durable snapshots rely on.
+func (d *Dict) WriteBinary(w io.Writer) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], uint64(len(d.names)))
+	if _, err := w.Write(buf[:n]); err != nil {
+		return err
+	}
+	for _, name := range d.names {
+		n = binary.PutUvarint(buf[:], uint64(len(name)))
+		if _, err := w.Write(buf[:n]); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, name); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maxDictNameLen bounds a single label name when decoding; corrupt length
+// fields must not trigger huge allocations.
+const maxDictNameLen = 1 << 20
+
+// ReadDict loads a dictionary written by WriteBinary.
+func ReadDict(r *bufio.Reader) (*Dict, error) {
+	count, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: reading dict count: %w", err)
+	}
+	if count > 1<<16 {
+		return nil, fmt.Errorf("graph: dict count %d exceeds label space", count)
+	}
+	d := NewDict()
+	for i := uint64(0); i < count; i++ {
+		ln, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("graph: reading dict name length: %w", err)
+		}
+		if ln > maxDictNameLen {
+			return nil, fmt.Errorf("graph: dict name length %d implausible", ln)
+		}
+		name := make([]byte, ln)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return nil, fmt.Errorf("graph: reading dict name: %w", err)
+		}
+		s := string(name)
+		if _, dup := d.byName[s]; dup {
+			return nil, fmt.Errorf("graph: duplicate dict name %q", s)
+		}
+		d.Intern(s)
+	}
+	return d, nil
+}

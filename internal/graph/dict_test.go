@@ -1,0 +1,76 @@
+package graph
+
+import (
+	"bufio"
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	names := []string{"person", "follows", "", "likes", "x y z", "follows2"}
+	for _, n := range names {
+		d.Intern(n)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDict(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("len %d, want %d", got.Len(), d.Len())
+	}
+	for i, n := range names {
+		l, ok := got.Lookup(n)
+		if !ok || l != Label(i) {
+			t.Fatalf("Lookup(%q) = %d,%v; want %d,true", n, l, ok, i)
+		}
+	}
+}
+
+func TestDictRoundTripEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewDict().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDict(bufio.NewReader(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Fatalf("len %d, want 0", got.Len())
+	}
+}
+
+func TestReadDictErrors(t *testing.T) {
+	d := NewDict()
+	d.Intern("a")
+	d.Intern("bb")
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for i := 0; i < len(full); i++ {
+		if _, err := ReadDict(bufio.NewReader(bytes.NewReader(full[:i]))); err == nil {
+			t.Errorf("ReadDict of %d-byte prefix should fail", i)
+		}
+	}
+	// Implausible count and duplicate names must be rejected.
+	if _, err := ReadDict(bufio.NewReader(strings.NewReader("\xff\xff\xff\xff\x7f"))); err == nil {
+		t.Error("huge count should fail")
+	}
+	var dup bytes.Buffer
+	dup.WriteByte(2)
+	for i := 0; i < 2; i++ {
+		dup.WriteByte(1)
+		dup.WriteString("a")
+	}
+	if _, err := ReadDict(bufio.NewReader(&dup)); err == nil {
+		t.Error("duplicate names should fail")
+	}
+}

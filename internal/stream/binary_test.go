@@ -1,0 +1,199 @@
+package stream
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"turboflux/internal/graph"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	in := []Update{
+		DeclareVertex(0, 1, 2),
+		DeclareVertex(1),
+		DeclareVertex(4294967295, 65535),
+		Insert(0, 5, 1),
+		Delete(0, 5, 1),
+		Insert(4294967295, 65535, 0),
+		Insert(1, 0, 0),
+	}
+	var buf []byte
+	for _, u := range in {
+		var err error
+		buf, err = AppendBinary(buf, u)
+		if err != nil {
+			t.Fatalf("AppendBinary(%s): %v", u, err)
+		}
+	}
+	var out []Update
+	for len(buf) > 0 {
+		u, n, err := DecodeBinary(buf)
+		if err != nil {
+			t.Fatalf("DecodeBinary: %v", err)
+		}
+		out = append(out, u)
+		buf = buf[n:]
+	}
+	if !reflect.DeepEqual(normalize(in), normalize(out)) {
+		t.Fatalf("round trip mismatch:\n in=%+v\nout=%+v", in, out)
+	}
+}
+
+// normalize maps nil and empty label slices to nil so DeepEqual compares
+// update contents, not allocation details.
+func normalize(ups []Update) []Update {
+	out := make([]Update, len(ups))
+	for i, u := range ups {
+		if len(u.Labels) == 0 {
+			u.Labels = nil
+		}
+		out[i] = u
+	}
+	return out
+}
+
+func TestBinaryDecodeErrors(t *testing.T) {
+	full, err := AppendBinary(nil, Insert(300, 70, 99999))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix of a valid record is a truncation error.
+	for i := 0; i < len(full); i++ {
+		if _, _, err := DecodeBinary(full[:i]); err == nil {
+			t.Errorf("DecodeBinary of %d-byte prefix should fail", i)
+		}
+	}
+	for name, b := range map[string][]byte{
+		"unknown op":     {9, 1, 2, 3},
+		"vertex cut":     {2, 5},
+		"huge vertex id": append([]byte{0}, bytesOfUvarint(1<<40)...),
+	} {
+		if _, _, err := DecodeBinary(b); err == nil {
+			t.Errorf("%s: DecodeBinary should fail", name)
+		}
+	}
+}
+
+func bytesOfUvarint(x uint64) []byte {
+	var b []byte
+	for x >= 0x80 {
+		b = append(b, byte(x)|0x80)
+		x >>= 7
+	}
+	return append(b, byte(x), 1, 1, 1, 1, 1, 1, 1, 1, 1)
+}
+
+// randomUpdates draws a corpus covering all ops and the extremes of the
+// id/label domains.
+func randomUpdates(rng *rand.Rand, n int) []Update {
+	ups := make([]Update, 0, n)
+	vid := func() graph.VertexID {
+		switch rng.Intn(4) {
+		case 0:
+			return graph.VertexID(rng.Intn(8))
+		case 1:
+			return graph.VertexID(rng.Uint32())
+		default:
+			return graph.VertexID(rng.Intn(1 << 20))
+		}
+	}
+	lab := func() graph.Label {
+		if rng.Intn(4) == 0 {
+			return graph.Label(rng.Intn(1 << 16))
+		}
+		return graph.Label(rng.Intn(8))
+	}
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			ups = append(ups, Insert(vid(), lab(), vid()))
+		case 1:
+			ups = append(ups, Delete(vid(), lab(), vid()))
+		default:
+			ls := make([]graph.Label, rng.Intn(4))
+			for j := range ls {
+				ls[j] = lab()
+			}
+			ups = append(ups, DeclareVertex(vid(), ls...))
+		}
+	}
+	return ups
+}
+
+// TestBinaryTextCrossCheck is the cross-codec property test: for random
+// update sequences, text encode→decode→binary encode→decode→text encode
+// must reproduce the first text rendering byte-for-byte.
+func TestBinaryTextCrossCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 50; round++ {
+		ups := randomUpdates(rng, 1+rng.Intn(40))
+
+		var text1 bytes.Buffer
+		if err := Encode(&text1, ups); err != nil {
+			t.Fatal(err)
+		}
+		viaText, err := Decode(bytes.NewReader(text1.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var bin []byte
+		for _, u := range viaText {
+			if bin, err = AppendBinary(bin, u); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var viaBin []Update
+		for len(bin) > 0 {
+			u, n, err := DecodeBinary(bin)
+			if err != nil {
+				t.Fatalf("round %d: DecodeBinary: %v", round, err)
+			}
+			viaBin = append(viaBin, u)
+			bin = bin[n:]
+		}
+
+		var text2 bytes.Buffer
+		if err := Encode(&text2, viaBin); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(text1.Bytes(), text2.Bytes()) {
+			t.Fatalf("round %d: codecs disagree\ntext1:\n%s\ntext2:\n%s",
+				round, text1.String(), text2.String())
+		}
+	}
+}
+
+func TestUpdateString(t *testing.T) {
+	for _, tc := range []struct {
+		u    Update
+		want string
+	}{
+		{Insert(1, 5, 2), "i 1 5 2"},
+		{Delete(0, 0, 0), "d 0 0 0"},
+		{DeclareVertex(3), "v 3"},
+		{DeclareVertex(3, 1, 7), "v 3 1,7"},
+		{DeclareVertex(4294967295, 65535), "v 4294967295 65535"},
+		{Update{Op: Op(9)}, "? op=9"},
+	} {
+		if got := tc.u.String(); got != tc.want {
+			t.Errorf("String(%+v) = %q, want %q", tc.u, got, tc.want)
+		}
+	}
+	// String must agree with the text codec line rendering for valid ops.
+	ups := []Update{Insert(7, 1, 8), Delete(7, 1, 8), DeclareVertex(9, 2)}
+	var buf bytes.Buffer
+	if err := Encode(&buf, ups); err != nil {
+		t.Fatal(err)
+	}
+	var lines bytes.Buffer
+	for _, u := range ups {
+		lines.WriteString(u.String())
+		lines.WriteByte('\n')
+	}
+	if buf.String() != lines.String() {
+		t.Fatalf("String and Encode disagree:\nencode:\n%s\nstring:\n%s", buf.String(), lines.String())
+	}
+}

@@ -28,7 +28,7 @@ func FuzzDecode(f *testing.F) {
 		if err := Encode(&buf, ups); err != nil {
 			t.Fatalf("re-encode of accepted input failed: %v", err)
 		}
-		again, err := Decode(&buf)
+		again, err := Decode(bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			t.Fatalf("decode of re-encoded stream failed: %v", err)
 		}
@@ -39,6 +39,34 @@ func FuzzDecode(f *testing.F) {
 			if ups[i].Op != again[i].Op || ups[i].Edge != again[i].Edge || ups[i].Vertex != again[i].Vertex {
 				t.Fatalf("round trip changed record %d: %+v vs %+v", i, ups[i], again[i])
 			}
+		}
+
+		// Cross-codec property on the shared corpus: anything the text
+		// decoder accepts must survive binary encode→decode and re-render
+		// to the identical text stream.
+		var bin []byte
+		for _, u := range ups {
+			var err error
+			if bin, err = AppendBinary(bin, u); err != nil {
+				t.Fatalf("AppendBinary(%s): %v", u, err)
+			}
+		}
+		var viaBin []Update
+		for len(bin) > 0 {
+			u, n, err := DecodeBinary(bin)
+			if err != nil {
+				t.Fatalf("DecodeBinary after text decode: %v", err)
+			}
+			viaBin = append(viaBin, u)
+			bin = bin[n:]
+		}
+		var text2 bytes.Buffer
+		if err := Encode(&text2, viaBin); err != nil {
+			t.Fatalf("re-encode via binary failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), text2.Bytes()) {
+			t.Fatalf("binary codec disagrees with text codec:\ntext:\n%s\nvia binary:\n%s",
+				buf.String(), text2.String())
 		}
 	})
 }

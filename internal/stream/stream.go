@@ -53,6 +53,27 @@ type Update struct {
 	Labels []graph.Label  // for OpVertex
 }
 
+// String renders the update as its text-format record (without trailing
+// newline), e.g. "i 1 5 2" or "v 3 1,7" — the one rendering shared by
+// logs and errors across the stream, durable and cmd layers.
+func (u Update) String() string {
+	switch u.Op {
+	case OpInsert, OpDelete:
+		return fmt.Sprintf("%s %d %d %d", u.Op, u.Edge.From, u.Edge.Label, u.Edge.To)
+	case OpVertex:
+		if len(u.Labels) == 0 {
+			return fmt.Sprintf("v %d", u.Vertex)
+		}
+		parts := make([]string, len(u.Labels))
+		for i, l := range u.Labels {
+			parts[i] = strconv.Itoa(int(l))
+		}
+		return fmt.Sprintf("v %d %s", u.Vertex, strings.Join(parts, ","))
+	default:
+		return fmt.Sprintf("? op=%d", u.Op)
+	}
+}
+
 // Insert returns an edge-insertion update.
 func Insert(from graph.VertexID, l graph.Label, to graph.VertexID) Update {
 	return Update{Op: OpInsert, Edge: graph.Edge{From: from, Label: l, To: to}}
