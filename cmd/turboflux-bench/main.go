@@ -24,6 +24,10 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	durOut := flag.String("durability-out", "BENCH_durability.json", "report path for -exp durability")
 	durRecords := flag.Int("durability-records", 200000, "WAL record count for -exp durability")
+	serveOut := flag.String("serve-out", "BENCH_serve.json", "report path for -exp serve")
+	serveClients := flag.Int("serve-clients", 4, "concurrent writer clients for -exp serve")
+	serveQueries := flag.Int("serve-queries", 4, "registered queries for -exp serve")
+	serveUpdates := flag.Int("serve-updates", 5000, "updates per client for -exp serve")
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "LSBench scale factor (#users)")
 	flag.IntVar(&cfg.Hosts, "hosts", cfg.Hosts, "Netflow host count")
 	flag.IntVar(&cfg.Triples, "triples", cfg.Triples, "Netflow triple count")
@@ -42,6 +46,7 @@ func main() {
 	if *list {
 		fmt.Println(strings.Join(harness.Experiments(), "\n"))
 		fmt.Println("durability")
+		fmt.Println("serve")
 		return
 	}
 	if *exp == "" {
@@ -55,6 +60,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stdout, "\n[durability completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *exp == "serve" {
+		start := time.Now()
+		if err := runServe(*serveOut, *serveClients, *serveQueries, *serveUpdates); err != nil {
+			fmt.Fprintln(os.Stderr, "turboflux-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "\n[serve completed in %s]\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	start := time.Now()

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"turboflux"
+	"turboflux/internal/server"
+	"turboflux/internal/stats"
+)
+
+// serveReport is the BENCH_serve.json document: ingest throughput of the
+// network serving subsystem under concurrent clients, and the
+// subscriber fan-out latency distribution (update sent -> matching event
+// received on a subscribed connection).
+type serveReport struct {
+	Clients       int    `json:"clients"`
+	Queries       int    `json:"queries"`
+	UpdatesPerCli int    `json:"updates_per_client"`
+	BatchSize     int    `json:"batch_size"`
+	Policy        string `json:"policy"`
+
+	// Single-record ingest: every client Apply waits for its ack.
+	IngestUpdates    int     `json:"ingest_updates"`
+	IngestNsPerOp    float64 `json:"ingest_ns_per_op"`
+	IngestUpdatesSec float64 `json:"ingest_updates_per_s"`
+
+	// Batched ingest over the binary frame.
+	BatchUpdates    int     `json:"batch_updates"`
+	BatchNsPerOp    float64 `json:"batch_ns_per_op"`
+	BatchUpdatesSec float64 `json:"batch_updates_per_s"`
+
+	// Fan-out latency: one probe client applies matching updates while
+	// subscribed; each sample is ack-to-event delivery time.
+	FanoutSamples int     `json:"fanout_samples"`
+	FanoutP50Us   float64 `json:"fanout_p50_us"`
+	FanoutP95Us   float64 `json:"fanout_p95_us"`
+	FanoutP99Us   float64 `json:"fanout_p99_us"`
+}
+
+// runServe benchmarks the TCP serving path end to end on a loopback
+// listener: M registered queries, N concurrent writer clients, and a
+// subscribed probe measuring fan-out delivery latency.
+func runServe(out string, clients, queries, updatesPerClient int) error {
+	const (
+		batchSize = 256
+		nVertices = 5000
+	)
+	vdict := turboflux.NewDict()
+	vdict.Intern("P")
+	edict := turboflux.NewDict()
+	var boot []turboflux.Update
+	for v := turboflux.VertexID(1); v <= nVertices; v++ {
+		boot = append(boot, turboflux.DeclareVertex(v, 0))
+	}
+	srv, err := server.New(server.Options{
+		Slow:         server.PolicyBlock,
+		QueueDepth:   1024,
+		VertexLabels: vdict,
+		EdgeLabels:   edict,
+		Bootstrap:    boot,
+	})
+	if err != nil {
+		return err
+	}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	addr := srv.Addr().String()
+
+	admin, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer admin.Close() //tf:unchecked-ok bench teardown
+	for q := 0; q < queries; q++ {
+		// Each query watches its own edge label, so every update triggers
+		// evaluation of all M queries but matches exactly one.
+		pattern := fmt.Sprintf("(a:P)-[:e%d]->(b:P)", q)
+		if err := admin.Register(fmt.Sprintf("q%d", q), pattern); err != nil {
+			return err
+		}
+	}
+
+	// Phase 1: concurrent single-record ingest, acked per update.
+	writers := make([]*server.Client, clients)
+	for i := range writers {
+		if writers[i], err = server.Dial(addr); err != nil {
+			return err
+		}
+		defer writers[i].Close() //tf:unchecked-ok bench teardown
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	start := time.Now()
+	for i, w := range writers {
+		wg.Add(1)
+		go func(i int, w *server.Client) {
+			defer wg.Done()
+			for k := 0; k < updatesPerClient; k++ {
+				from := turboflux.VertexID(uint32(i*updatesPerClient+k)%nVertices + 1)
+				to := turboflux.VertexID(uint32(k*2654435761)%nVertices + 1)
+				l := turboflux.Label(k % queries)
+				if _, err := w.Apply(turboflux.Insert(from, l, to)); err != nil {
+					errCh <- fmt.Errorf("writer %d: %w", i, err)
+					return
+				}
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	ingestDur := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		return err
+	}
+	ingestN := clients * updatesPerClient
+
+	// Phase 2: batched ingest over the binary frame, one writer.
+	batcher := writers[0]
+	batchN := 0
+	start = time.Now()
+	for sent := 0; sent < updatesPerClient*clients; sent += batchSize {
+		ups := make([]turboflux.Update, 0, batchSize)
+		for k := 0; k < batchSize; k++ {
+			from := turboflux.VertexID(uint32(sent+k)%nVertices + 1)
+			to := turboflux.VertexID(uint32((sent+k)*40503)%nVertices + 1)
+			ups = append(ups, turboflux.Delete(from, turboflux.Label(k%queries), to))
+		}
+		if _, err := batcher.BatchBinary(ups); err != nil {
+			return err
+		}
+		batchN += len(ups)
+	}
+	batchDur := time.Since(start)
+
+	// Phase 3: fan-out latency. The probe subscribes to q0 and times each
+	// matching insert from ack to event arrival.
+	probe, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer probe.Close() //tf:unchecked-ok bench teardown
+	if _, err := probe.Subscribe("q0"); err != nil {
+		return err
+	}
+	lat := stats.NewLatency(0)
+	samples := updatesPerClient
+	if samples > 2000 {
+		samples = 2000
+	}
+	for k := 0; k < samples; k++ {
+		from := turboflux.VertexID(uint32(k)%nVertices + 1)
+		to := turboflux.VertexID(uint32(k*7919)%nVertices + 1)
+		t0 := time.Now()
+		ack, err := probe.Apply(turboflux.Insert(from, 0, to))
+		if err != nil {
+			return err
+		}
+		for ev := range probe.Events() {
+			if ev.Seq == ack.Seq {
+				break
+			}
+		}
+		lat.Observe(time.Since(t0))
+		if _, err := probe.Delete(from, 0, to); err != nil {
+			return err
+		}
+		// Drain the retraction before the next sample.
+		for ev := range probe.Events() {
+			if !ev.Positive {
+				break
+			}
+		}
+	}
+
+	if err := shutdownServer(srv); err != nil {
+		return err
+	}
+	if err := <-serveDone; err != nil {
+		return err
+	}
+
+	qs := lat.Quantiles(50, 95, 99)
+	rep := serveReport{
+		Clients:       clients,
+		Queries:       queries,
+		UpdatesPerCli: updatesPerClient,
+		BatchSize:     batchSize,
+		Policy:        server.PolicyBlock.String(),
+
+		IngestUpdates:    ingestN,
+		IngestNsPerOp:    float64(ingestDur.Nanoseconds()) / float64(ingestN),
+		IngestUpdatesSec: float64(ingestN) / ingestDur.Seconds(),
+
+		BatchUpdates:    batchN,
+		BatchNsPerOp:    float64(batchDur.Nanoseconds()) / float64(batchN),
+		BatchUpdatesSec: float64(batchN) / batchDur.Seconds(),
+
+		FanoutSamples: int(lat.Count()),
+		FanoutP50Us:   float64(qs[0].Nanoseconds()) / 1e3,
+		FanoutP95Us:   float64(qs[1].Nanoseconds()) / 1e3,
+		FanoutP99Us:   float64(qs[2].Nanoseconds()) / 1e3,
+	}
+	fmt.Printf("serve: %d clients x %d queries, ingest %.0f ups/s (%.0f ns/op), batch %.0f ups/s, fanout p50=%.0fus p95=%.0fus p99=%.0fus\n",
+		clients, queries, rep.IngestUpdatesSec, rep.IngestNsPerOp, rep.BatchUpdatesSec,
+		rep.FanoutP50Us, rep.FanoutP95Us, rep.FanoutP99Us)
+	return writeJSON(out, rep)
+}
+
+func shutdownServer(srv *server.Server) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+func writeJSON(path string, v any) error {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[report written to %s]\n", path)
+	return nil
+}

@@ -26,7 +26,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
+	"sync/atomic"
+	"syscall"
 
 	"turboflux"
 	"turboflux/internal/graph"
@@ -65,6 +68,20 @@ type streamEngine interface {
 }
 
 func run(graphPath, queryPath, pattern, streamPath, dataDir, fsync string, iso, quiet, initial, explain bool) error {
+	// Catch SIGINT/SIGTERM for the whole run, so a durable store opened
+	// later is always closed through the deferred Compact+Close and the
+	// WAL ends at a record boundary.
+	var interrupted atomic.Bool
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+	go func() {
+		if sig, ok := <-sigCh; ok {
+			interrupted.Store(true)
+			fmt.Fprintf(os.Stderr, "turboflux: %v: finishing current chunk, closing store\n", sig)
+		}
+	}()
+
 	var q *turboflux.Query
 	var err error
 	if pattern != "" {
@@ -91,6 +108,9 @@ func run(graphPath, queryPath, pattern, streamPath, dataDir, fsync string, iso, 
 	}
 	if !quiet {
 		opt.OnMatch = printMatch
+	}
+	if interrupted.Load() {
+		return fmt.Errorf("interrupted before the engine was opened")
 	}
 
 	var eng streamEngine
@@ -127,13 +147,33 @@ func run(graphPath, queryPath, pattern, streamPath, dataDir, fsync string, iso, 
 		n := eng.InitialMatches()
 		fmt.Printf("# initial matches: %d\n", n)
 	}
-	if _, err := eng.ApplyAll(ups); err != nil {
+	applied, err := applyInterruptible(eng, ups, &interrupted)
+	if err != nil {
 		return err
 	}
 	st := eng.Stats()
 	fmt.Printf("# stream: %d updates, %d positive, %d negative, DCG %d edges\n",
-		len(ups), st.PositiveMatches, st.NegativeMatches, st.DCGEdges)
+		applied, st.PositiveMatches, st.NegativeMatches, st.DCGEdges)
 	return nil
+}
+
+// applyInterruptible replays ups in chunks, stopping cleanly at a chunk
+// boundary once interrupted is set so the deferred Compact+Close still
+// runs and a durable store's write-ahead log is closed without a torn
+// tail.
+func applyInterruptible(eng streamEngine, ups []turboflux.Update, interrupted *atomic.Bool) (int, error) {
+	applied := 0
+	for _, chunk := range stream.Batches(ups, 1024) {
+		if interrupted.Load() {
+			fmt.Fprintf(os.Stderr, "turboflux: interrupted after %d/%d updates\n", applied, len(ups))
+			break
+		}
+		if _, err := eng.ApplyAll(chunk); err != nil {
+			return applied, err
+		}
+		applied += len(chunk)
+	}
+	return applied, nil
 }
 
 // openDurable opens the durable engine, seeding a fresh directory from

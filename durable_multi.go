@@ -1,0 +1,174 @@
+package turboflux
+
+import (
+	"time"
+
+	"turboflux/internal/durable"
+)
+
+// DurableMultiOptions configures OpenDurableMulti. The fields mirror
+// DurableOptions minus the per-engine matching options: queries are
+// registered dynamically with Register, each with its own Options.
+type DurableMultiOptions struct {
+	// Fsync is the WAL sync policy: "always", "interval" (default) or
+	// "none"; see DurableOptions.
+	Fsync string
+	// FsyncInterval is the "interval" policy period (default 100ms).
+	FsyncInterval time.Duration
+	// SegmentSize rotates the log once the active segment reaches this
+	// many bytes (default 4 MiB).
+	SegmentSize int64
+
+	// VertexLabels / EdgeLabels, when non-nil, become the store's label
+	// dictionaries, with recovered names merged in exactly as for
+	// OpenDurable.
+	VertexLabels, EdgeLabels *Dict
+
+	// Bootstrap is an optional initial-graph history, journaled and
+	// applied only when the store is fresh.
+	Bootstrap []Update
+}
+
+// DurableMultiEngine is a MultiEngine whose update stream survives process
+// crashes: every Apply/Insert/Delete is journaled to the write-ahead log
+// before any registered query evaluates it. Query registrations themselves
+// are not journaled — matches are recomputed from state, so after recovery
+// the caller re-registers its standing queries (each Register rebuilds the
+// query's DCG over the recovered graph) and matching resumes exactly where
+// the surviving log prefix ends. This is the serving shape: the network
+// server journals every accepted update before acking it, while clients
+// own their query registrations.
+//
+// DurableMultiEngine is not safe for concurrent use, matching MultiEngine;
+// the server serializes access through its engine-owner goroutine.
+type DurableMultiEngine struct {
+	store *durable.Store
+	m     *MultiEngine
+	rec   RecoveryInfo
+}
+
+// OpenDurableMulti opens (or creates) the durable store in dir, recovers
+// the data graph from its newest valid snapshot plus the journaled tail,
+// and wraps it in an empty MultiEngine ready for Register calls.
+func OpenDurableMulti(dir string, opt DurableMultiOptions) (*DurableMultiEngine, error) {
+	pol, err := durable.ParsePolicy(opt.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	st, err := durable.Open(dir, durable.Options{
+		Fsync:        pol,
+		FsyncEvery:   opt.FsyncInterval,
+		SegmentSize:  opt.SegmentSize,
+		VertexLabels: opt.VertexLabels,
+		EdgeLabels:   opt.EdgeLabels,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vd, err := adoptDict(opt.VertexLabels, st.VertexLabels(), "vertex")
+	if err != nil {
+		st.Close() //tf:unchecked-ok already failing
+		return nil, err
+	}
+	ed, err := adoptDict(opt.EdgeLabels, st.EdgeLabels(), "edge")
+	if err != nil {
+		st.Close() //tf:unchecked-ok already failing
+		return nil, err
+	}
+	st.SetDicts(vd, ed)
+
+	if st.Recovery().Fresh {
+		for _, u := range opt.Bootstrap {
+			if _, err := st.Append(u); err != nil {
+				st.Close() //tf:unchecked-ok already failing
+				return nil, err
+			}
+			u.Apply(st.Graph())
+		}
+	}
+
+	rec := st.Recovery()
+	return &DurableMultiEngine{
+		store: st,
+		m:     NewMultiEngine(st.Graph()),
+		rec: RecoveryInfo{
+			SnapshotLSN:    rec.SnapshotLSN,
+			Replayed:       rec.Replayed,
+			TruncatedBytes: rec.TruncatedBytes,
+			Fresh:          rec.Fresh,
+		},
+	}, nil
+}
+
+// Recovery returns what OpenDurableMulti found on disk.
+func (d *DurableMultiEngine) Recovery() RecoveryInfo { return d.rec }
+
+// Register adds a continuous query under the given name, building its DCG
+// over the current (recovered) graph state. Registrations are not
+// journaled; re-register after reopening the store.
+func (d *DurableMultiEngine) Register(name string, q *Query, opt Options) error {
+	return d.m.Register(name, q, opt)
+}
+
+// Unregister removes a query and reports whether it was registered.
+func (d *DurableMultiEngine) Unregister(name string) bool { return d.m.Unregister(name) }
+
+// Queries returns the registered query names in registration order.
+func (d *DurableMultiEngine) Queries() []string { return d.m.Queries() }
+
+// InitialMatches reports each registered query's matches over the current
+// graph and returns per-query counts.
+func (d *DurableMultiEngine) InitialMatches() map[string]int64 { return d.m.InitialMatches() }
+
+// Insert journals an edge insertion and then fans it out to every
+// registered query, returning per-query positive-match counts.
+func (d *DurableMultiEngine) Insert(from VertexID, l Label, to VertexID) (map[string]int64, error) {
+	if _, err := d.store.Append(Insert(from, l, to)); err != nil {
+		return nil, err
+	}
+	return d.m.Insert(from, l, to)
+}
+
+// Delete journals an edge deletion and then fans it out, returning
+// per-query negative-match counts.
+func (d *DurableMultiEngine) Delete(from VertexID, l Label, to VertexID) (map[string]int64, error) {
+	if _, err := d.store.Append(Delete(from, l, to)); err != nil {
+		return nil, err
+	}
+	return d.m.Delete(from, l, to)
+}
+
+// Apply journals one stream update and then fans it out.
+func (d *DurableMultiEngine) Apply(u Update) (map[string]int64, error) {
+	if _, err := d.store.Append(u); err != nil {
+		return nil, err
+	}
+	return d.m.Apply(u)
+}
+
+// Compact writes a fresh snapshot covering the whole journaled history and
+// drops the log segments it makes obsolete.
+func (d *DurableMultiEngine) Compact() error { return d.store.Compact() }
+
+// Sync forces journaled updates to stable storage regardless of the fsync
+// policy.
+func (d *DurableMultiEngine) Sync() error { return d.store.Sync() }
+
+// Close syncs and closes the journal. The engine is unusable afterwards;
+// reopen the directory with OpenDurableMulti to resume.
+func (d *DurableMultiEngine) Close() error { return d.store.Close() }
+
+// LSN returns the log position of the last journaled update.
+func (d *DurableMultiEngine) LSN() uint64 { return d.store.LSN() }
+
+// Graph returns the shared data graph. Treat it as read-only.
+func (d *DurableMultiEngine) Graph() *Graph { return d.m.Graph() }
+
+// VertexLabels returns the live vertex-label dictionary.
+func (d *DurableMultiEngine) VertexLabels() *Dict { return d.store.VertexLabels() }
+
+// EdgeLabels returns the live edge-label dictionary.
+func (d *DurableMultiEngine) EdgeLabels() *Dict { return d.store.EdgeLabels() }
+
+// Stats returns a per-query snapshot of engine counters, keyed by name.
+func (d *DurableMultiEngine) Stats() map[string]Stats { return d.m.Stats() }

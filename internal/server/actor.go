@@ -1,0 +1,415 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"turboflux"
+	"turboflux/internal/graph"
+	"turboflux/internal/qlang"
+	"turboflux/internal/stats"
+	"turboflux/internal/stream"
+)
+
+// engineHost is the engine surface the actor drives; *turboflux.MultiEngine
+// and *turboflux.DurableMultiEngine both provide it.
+type engineHost interface {
+	Register(name string, q *turboflux.Query, opt turboflux.Options) error
+	Unregister(name string) bool
+	Queries() []string
+	Apply(u turboflux.Update) (map[string]int64, error)
+	Stats() map[string]turboflux.Stats
+}
+
+type reqKind uint8
+
+const (
+	reqApply reqKind = iota
+	reqBatch
+	reqRegister
+	reqUnregister
+	reqQueries
+	reqLabel
+	reqSubscribe
+	reqUnsubscribe
+	reqDropConn
+	reqStats
+)
+
+// request is one message to the engine-owner goroutine. reply, when
+// non-nil, receives exactly one response and must have capacity 1 so the
+// actor never blocks sending it.
+type request struct {
+	kind   reqKind
+	u      stream.Update
+	ups    []stream.Update
+	name   string // query name / "vertex" / "edge"
+	arg    string // pattern / label name
+	sub    *subscriber
+	connID uint64
+	reply  chan response
+}
+
+type response struct {
+	err    error
+	seq    uint64
+	total  int64
+	counts map[string]int64
+	names  []string
+	lines  []string
+	label  graph.Label
+}
+
+// actor is the engine-owner goroutine (the serving subsystem's core): it
+// serializes every graph mutation, query registration and subscription
+// change onto the single-threaded MultiEngine, so any number of
+// connections can drive it concurrently. Matches reported by the engines
+// during an update are buffered in pending and fanned out to that query's
+// subscribers — in emission order — before the update is acknowledged.
+type actor struct {
+	host    engineHost
+	durable *turboflux.DurableMultiEngine // nil in memory-only mode
+	vdict   *turboflux.Dict
+	edict   *turboflux.Dict
+
+	policy SlowPolicy
+	depth  int
+
+	reqCh chan request
+	stop  chan struct{} // closed by Shutdown once connections are done
+	done  chan struct{} // closed by run after drain + store close
+
+	subs    map[string][]*subscriber
+	pending []event
+	seq     uint64 // global update sequence number (acked to clients)
+
+	// Counters surfaced by STATS; owned by the actor goroutine.
+	updates   uint64
+	events    uint64
+	drops     uint64
+	evictions uint64
+	lat       *stats.Latency
+
+	conns    *atomic.Int64 // live connection count, owned by Server
+	closeErr error         // store-close error, read after done
+}
+
+func newActor(host engineHost, durable *turboflux.DurableMultiEngine, vdict, edict *turboflux.Dict, policy SlowPolicy, depth int, conns *atomic.Int64) *actor {
+	return &actor{
+		host:    host,
+		durable: durable,
+		vdict:   vdict,
+		edict:   edict,
+		policy:  policy,
+		depth:   depth,
+		reqCh:   make(chan request, 128),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		subs:    make(map[string][]*subscriber),
+		lat:     stats.NewLatency(0),
+		conns:   conns,
+	}
+}
+
+// run is the actor loop. Everything that touches the engine happens here.
+//
+//tf:hotpath
+func (a *actor) run() {
+	for {
+		select {
+		case req := <-a.reqCh:
+			a.handle(req)
+		case <-a.stop:
+			a.shutdown()
+			return
+		}
+	}
+}
+
+// shutdown drains the requests already queued (connections are gone by
+// now, so no new ones arrive), flushes every subscriber queue by closing
+// the subscriptions, closes the durable store, and signals done.
+func (a *actor) shutdown() {
+	for {
+		select {
+		case req := <-a.reqCh:
+			a.handle(req)
+			continue
+		default:
+		}
+		break
+	}
+	//tf:unordered-ok closing subscriptions; per-queue event order is preserved by the pumps
+	for _, subs := range a.subs {
+		for _, s := range subs {
+			s.close()
+		}
+	}
+	if a.durable != nil {
+		a.closeErr = a.durable.Close()
+	}
+	close(a.done)
+}
+
+func (a *actor) handle(req request) {
+	var resp response
+	switch req.kind {
+	case reqApply:
+		resp.seq, resp.counts, resp.err = a.applyOne(req.u)
+		//tf:unordered-ok summing counts is order-independent
+		for _, n := range resp.counts {
+			resp.total += n
+		}
+	case reqBatch:
+		resp.seq = a.seq + 1
+		for _, u := range req.ups {
+			_, counts, err := a.applyOne(u)
+			if err != nil {
+				resp.err = err
+				break
+			}
+			//tf:unordered-ok summing counts is order-independent
+			for _, n := range counts {
+				resp.total += n
+			}
+		}
+	case reqRegister:
+		resp.err = a.register(req.name, req.arg)
+	case reqUnregister:
+		if !a.host.Unregister(req.name) {
+			resp.err = fmt.Errorf("server: query %q is not registered", req.name)
+			break
+		}
+		// Terminate the query's subscriptions; their pumps drain what is
+		// already queued and then send the *EVICTED notice.
+		for _, s := range a.subs[req.name] {
+			s.evicted.Store(true)
+			s.close()
+		}
+		delete(a.subs, req.name)
+	case reqQueries:
+		resp.names = a.host.Queries()
+	case reqLabel:
+		d := a.vdict
+		if req.name == "edge" {
+			d = a.edict
+		}
+		resp.label = d.Intern(req.arg)
+	case reqSubscribe:
+		if !a.registered(req.name) {
+			resp.err = fmt.Errorf("server: query %q is not registered", req.name)
+			break
+		}
+		a.subs[req.name] = append(a.subs[req.name], req.sub)
+		resp.seq = a.seq
+	case reqUnsubscribe:
+		subs := a.subs[req.name]
+		live := subs[:0]
+		removed := false
+		for _, s := range subs {
+			if s.connID == req.connID {
+				s.close()
+				removed = true
+			} else {
+				live = append(live, s)
+			}
+		}
+		a.subs[req.name] = live
+		if !removed {
+			resp.err = fmt.Errorf("server: no subscription for query %q on this connection", req.name)
+		}
+	case reqDropConn:
+		//tf:unordered-ok removal; per-queue event order is unaffected
+		for q, subs := range a.subs {
+			live := subs[:0]
+			for _, s := range subs {
+				if s.connID == req.connID {
+					s.close()
+				} else {
+					live = append(live, s)
+				}
+			}
+			a.subs[q] = live
+		}
+	case reqStats:
+		resp.lines = a.statsLines()
+	default:
+		resp.err = fmt.Errorf("server: unknown request kind %d", req.kind)
+	}
+	if req.reply != nil {
+		req.reply <- resp
+	}
+}
+
+// register parses the pattern through the server's dictionaries and
+// registers the query with an OnMatch hook that buffers events for
+// fan-out. Parsing happens here, not in the connection goroutine, because
+// qlang interns labels into the shared dictionaries.
+func (a *actor) register(name, pattern string) error {
+	q, _, err := qlang.Parse(pattern, a.vdict, a.edict)
+	if err != nil {
+		return err
+	}
+	return a.host.Register(name, q, turboflux.Options{OnMatch: a.onMatchFunc(name)})
+}
+
+// onMatchFunc returns the per-query OnMatch hook. The engine reuses the
+// mapping slice across calls, so the hook copies it into the event.
+func (a *actor) onMatchFunc(name string) func(bool, []graph.VertexID) {
+	return func(positive bool, m []graph.VertexID) {
+		cp := make([]graph.VertexID, len(m))
+		copy(cp, m)
+		a.pending = append(a.pending, event{query: name, positive: positive, mapping: cp})
+	}
+}
+
+func (a *actor) registered(name string) bool {
+	for _, n := range a.host.Queries() {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// applyOne assigns the next sequence number, applies (journaling first in
+// durable mode) and fans the resulting matches out to subscribers. On an
+// engine error (e.g. a per-query work budget) the update may have been
+// partially evaluated; matches reported before the error are still
+// delivered, which is exactly what a single-threaded replay would emit.
+func (a *actor) applyOne(u stream.Update) (uint64, map[string]int64, error) {
+	start := time.Now()
+	counts, err := a.host.Apply(u)
+	a.seq++
+	a.updates++
+	a.flushPending(a.seq)
+	a.lat.Observe(time.Since(start))
+	return a.seq, counts, err
+}
+
+// flushPending delivers the matches buffered during one update to their
+// queries' subscribers, preserving emission order per query. This is the
+// per-match fan-out step: no allocations besides the lazy compaction of
+// subscriber lists when one closed.
+//
+//tf:hotpath
+func (a *actor) flushPending(seq uint64) {
+	for i := range a.pending {
+		a.pending[i].seq = seq
+		ev := a.pending[i]
+		subs := a.subs[ev.query]
+		anyClosed := false
+		for _, s := range subs {
+			if s.closed() {
+				anyClosed = true
+				continue
+			}
+			if s.enqueue(ev, a.policy) {
+				a.events++
+				continue
+			}
+			switch a.policy {
+			case PolicyDrop:
+				a.drops++
+			case PolicyEvict:
+				if s.evicted.Load() {
+					a.evictions++
+					anyClosed = true
+				}
+			}
+		}
+		if anyClosed {
+			live := subs[:0]
+			for _, s := range subs {
+				if !s.closed() {
+					live = append(live, s)
+				}
+			}
+			a.subs[ev.query] = live
+		}
+	}
+	a.pending = a.pending[:0]
+}
+
+// statsLines renders the STATS payload: one server line, one apply-latency
+// line, an optional WAL line, then one line per registered query and one
+// per live subscription, in deterministic order.
+func (a *actor) statsLines() []string {
+	var subCount int
+	//tf:unordered-ok counting
+	for _, subs := range a.subs {
+		subCount += len(subs)
+	}
+	lines := make([]string, 0, 3+len(a.subs)+subCount)
+	lines = append(lines, fmt.Sprintf(
+		"server conns=%d policy=%s queue_cap=%d seq=%d updates=%d events=%d dropped=%d evicted=%d",
+		a.conns.Load(), a.policy, a.depth, a.seq, a.updates, a.events, a.drops, a.evictions))
+	qs := a.lat.Quantiles(50, 95, 99)
+	lines = append(lines, fmt.Sprintf("apply_latency n=%d p50_ns=%d p95_ns=%d p99_ns=%d",
+		a.lat.Count(), qs[0].Nanoseconds(), qs[1].Nanoseconds(), qs[2].Nanoseconds()))
+	if a.durable != nil {
+		lines = append(lines, fmt.Sprintf("wal lsn=%d", a.durable.LSN()))
+	}
+	engStats := a.host.Stats()
+	for _, name := range a.host.Queries() {
+		st := engStats[name]
+		lines = append(lines, fmt.Sprintf("query %s pos=%d neg=%d dcg_edges=%d bytes=%d subs=%d",
+			name, st.PositiveMatches, st.NegativeMatches, st.DCGEdges, st.IntermediateBytes, len(a.subs[name])))
+	}
+	names := make([]string, 0, len(a.subs))
+	//tf:unordered-ok keys are sorted before emission
+	for name := range a.subs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, s := range a.subs[name] {
+			lines = append(lines, fmt.Sprintf(
+				"sub %s conn=%d depth=%d cap=%d enqueued=%d dropped=%d max_depth=%d",
+				name, s.connID, len(s.ch), cap(s.ch), s.enqueued, s.dropped, s.maxDepth))
+		}
+	}
+	for i, l := range lines {
+		if strings.ContainsAny(l, "\r\n") {
+			lines[i] = strings.NewReplacer("\r", " ", "\n", " ").Replace(l)
+		}
+	}
+	return lines
+}
+
+// send enqueues req for the actor, failing fast once the actor has
+// stopped so connection goroutines never block on a dead server.
+func (a *actor) send(req request) error {
+	select {
+	case a.reqCh <- req:
+		return nil
+	case <-a.done:
+		return errServerClosed
+	}
+}
+
+// call sends req and waits for the actor's response.
+func (a *actor) call(req request) (response, error) {
+	req.reply = make(chan response, 1)
+	if err := a.send(req); err != nil {
+		return response{}, err
+	}
+	select {
+	case resp := <-req.reply:
+		return resp, nil
+	case <-a.done:
+		// The actor drains queued requests before closing done, so a
+		// request it accepted always gets its reply; this arm only fires
+		// if done closed between accept and drain completion — re-check
+		// the reply to avoid losing it.
+		select {
+		case resp := <-req.reply:
+			return resp, nil
+		default:
+			return response{}, errServerClosed
+		}
+	}
+}

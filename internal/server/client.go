@@ -1,0 +1,467 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+
+	"turboflux"
+	"turboflux/internal/stream"
+)
+
+// Event is one push received on a subscription: a match (Positive,
+// Mapping, Seq) or — when Evicted is set — the notice that the server
+// cancelled the subscription (slow-consumer eviction or query
+// unregistration).
+type Event struct {
+	Query    string
+	Seq      uint64
+	Positive bool
+	Mapping  []turboflux.VertexID
+	Evicted  bool
+}
+
+// Ack is the acknowledgment of a single update: the server's global
+// sequence number and the per-query match counts it produced.
+type Ack struct {
+	Seq    uint64
+	Total  int64
+	Counts map[string]int64
+}
+
+// BatchAck acknowledges a batch: the sequence number of its first update,
+// the number of updates applied, and the total match count.
+type BatchAck struct {
+	FirstSeq uint64
+	Applied  int
+	Total    int64
+}
+
+// Client is a Go client for the TurboFlux server, safe for one
+// request/response caller plus any number of Events consumers. Pushed
+// events are delivered on the Events channel; if the consumer stops
+// reading, the client stops reading the socket, which is exactly the
+// slow-consumer pressure the server's policy acts on.
+type Client struct {
+	nc net.Conn
+
+	mu sync.Mutex // serializes request/response exchanges
+	bw *bufio.Writer
+
+	resp   chan respMsg
+	events chan Event
+
+	done     chan struct{} // closed by Close
+	dead     chan struct{} // closed when the read loop exits
+	errMu    sync.Mutex
+	readErr  error
+	closeOne sync.Once
+}
+
+type respMsg struct {
+	line string
+}
+
+// Dial connects to a TurboFlux server with the default event buffer.
+func Dial(addr string) (*Client, error) { return DialBuffered(addr, 256) }
+
+// DialBuffered connects with an explicit Events channel capacity
+// (0 = unbuffered, for tests that want the tightest backpressure).
+func DialBuffered(addr string, eventBuf int) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if eventBuf < 0 {
+		eventBuf = 0
+	}
+	c := &Client{
+		nc:     nc,
+		bw:     bufio.NewWriter(nc),
+		resp:   make(chan respMsg),
+		events: make(chan Event, eventBuf),
+		done:   make(chan struct{}),
+		dead:   make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Events returns the push stream. It is closed when the connection ends.
+func (c *Client) Events() <-chan Event { return c.events }
+
+// Err returns the terminal read-loop error, if any (nil while healthy and
+// after a clean Close).
+func (c *Client) Err() error {
+	c.errMu.Lock()
+	defer c.errMu.Unlock()
+	return c.readErr
+}
+
+// Close tears the connection down. Pending Events deliveries end; the
+// Events channel is closed once the read loop exits.
+func (c *Client) Close() error {
+	c.closeOne.Do(func() { close(c.done) })
+	err := c.nc.Close()
+	<-c.dead
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer close(c.events)
+	defer close(c.dead)
+	br := bufio.NewReaderSize(c.nc, MaxLineBytes)
+	for {
+		b, err := br.ReadSlice('\n')
+		if err != nil {
+			c.setErr(err)
+			return
+		}
+		line := strings.TrimRight(string(b), "\r\n")
+		if strings.HasPrefix(line, "*") {
+			ev, err := parseEvent(line)
+			if err != nil {
+				c.setErr(err)
+				return
+			}
+			select {
+			case c.events <- ev:
+			case <-c.done:
+				return
+			}
+			continue
+		}
+		select {
+		case c.resp <- respMsg{line: line}:
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *Client) setErr(err error) {
+	select {
+	case <-c.done:
+		return // closed deliberately; the read error is just the close
+	default:
+	}
+	c.errMu.Lock()
+	if c.readErr == nil {
+		c.readErr = err
+	}
+	c.errMu.Unlock()
+}
+
+// parseEvent decodes "*EVENT <query> <seq> <sign> <v...>" and
+// "*EVICTED <query>" lines.
+func parseEvent(line string) (Event, error) {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case "*EVICTED":
+		if len(fields) != 2 {
+			return Event{}, fmt.Errorf("server: bad eviction notice %q", line)
+		}
+		return Event{Query: fields[1], Evicted: true}, nil
+	case "*EVENT":
+		if len(fields) < 4 {
+			return Event{}, fmt.Errorf("server: bad event %q", line)
+		}
+		seq, err := strconv.ParseUint(fields[2], 10, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("server: bad event seq %q", line)
+		}
+		ev := Event{Query: fields[1], Seq: seq, Positive: fields[3] == "+"}
+		if !ev.Positive && fields[3] != "-" {
+			return Event{}, fmt.Errorf("server: bad event sign %q", line)
+		}
+		ev.Mapping = make([]turboflux.VertexID, 0, len(fields)-4)
+		for _, f := range fields[4:] {
+			v, err := strconv.ParseUint(f, 10, 32)
+			if err != nil {
+				return Event{}, fmt.Errorf("server: bad event vertex %q", line)
+			}
+			ev.Mapping = append(ev.Mapping, turboflux.VertexID(v))
+		}
+		return ev, nil
+	default:
+		return Event{}, fmt.Errorf("server: unknown push %q", line)
+	}
+}
+
+// do performs one request/response exchange. body, when non-nil, is
+// written verbatim after the request line (batch payloads).
+func (c *Client) do(reqLine string, body []byte) (string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.bw.WriteString(reqLine); err != nil {
+		return "", err
+	}
+	if err := c.bw.WriteByte('\n'); err != nil {
+		return "", err
+	}
+	if body != nil {
+		if _, err := c.bw.Write(body); err != nil {
+			return "", err
+		}
+	}
+	if err := c.bw.Flush(); err != nil {
+		return "", err
+	}
+	return c.recv()
+}
+
+// recv waits for the next response line (the caller holds mu).
+func (c *Client) recv() (string, error) {
+	select {
+	case m := <-c.resp:
+		if strings.HasPrefix(m.line, "-ERR ") {
+			return "", errors.New(strings.TrimPrefix(m.line, "-ERR "))
+		}
+		if strings.HasPrefix(m.line, "-") {
+			return "", errors.New(strings.TrimPrefix(m.line, "-"))
+		}
+		if !strings.HasPrefix(m.line, "+") {
+			return "", fmt.Errorf("server: unexpected response %q", m.line)
+		}
+		return strings.TrimPrefix(m.line, "+"), nil
+	case <-c.dead:
+		if err := c.Err(); err != nil {
+			return "", err
+		}
+		return "", errors.New("server: connection closed")
+	}
+}
+
+// recvLine waits for one raw payload line (STATS body).
+func (c *Client) recvLine() (string, error) {
+	select {
+	case m := <-c.resp:
+		return m.line, nil
+	case <-c.dead:
+		return "", errors.New("server: connection closed")
+	}
+}
+
+// Ping checks liveness.
+func (c *Client) Ping() error {
+	_, err := c.do("PING", nil)
+	return err
+}
+
+// Register registers a continuous query from a qlang pattern.
+func (c *Client) Register(name, pattern string) error {
+	_, err := c.do("REGISTER "+name+" "+pattern, nil)
+	return err
+}
+
+// Unregister removes a query. Its subscribers receive eviction notices.
+func (c *Client) Unregister(name string) error {
+	_, err := c.do("UNREGISTER "+name, nil)
+	return err
+}
+
+// Queries lists the registered query names in registration order.
+func (c *Client) Queries() ([]string, error) {
+	line, err := c.do("QUERIES", nil)
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(line) // "OK <k> names..."
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("server: bad QUERIES reply %q", line)
+	}
+	return fields[2:], nil
+}
+
+// Label interns a label name of the given kind ("vertex" or "edge") and
+// returns its numeric id, the value update records use on the wire.
+func (c *Client) Label(kind, name string) (turboflux.Label, error) {
+	line, err := c.do("LABEL "+kind+" "+name, nil)
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("server: bad LABEL reply %q", line)
+	}
+	n, err := strconv.ParseUint(fields[1], 10, 16)
+	if err != nil {
+		return 0, fmt.Errorf("server: bad LABEL reply %q", line)
+	}
+	return turboflux.Label(n), nil
+}
+
+// Apply sends one update and returns its acknowledgment.
+func (c *Client) Apply(u turboflux.Update) (Ack, error) {
+	line, err := c.do(u.String(), nil)
+	if err != nil {
+		return Ack{}, err
+	}
+	return parseAck(line)
+}
+
+// Insert applies one edge insertion.
+func (c *Client) Insert(from turboflux.VertexID, l turboflux.Label, to turboflux.VertexID) (Ack, error) {
+	return c.Apply(turboflux.Insert(from, l, to))
+}
+
+// Delete applies one edge deletion.
+func (c *Client) Delete(from turboflux.VertexID, l turboflux.Label, to turboflux.VertexID) (Ack, error) {
+	return c.Apply(turboflux.Delete(from, l, to))
+}
+
+// DeclareVertex declares a labeled vertex.
+func (c *Client) DeclareVertex(v turboflux.VertexID, labels ...turboflux.Label) (Ack, error) {
+	return c.Apply(turboflux.DeclareVertex(v, labels...))
+}
+
+func parseAck(line string) (Ack, error) {
+	fields := strings.Fields(line) // "OK <seq> <total> [k=v ...]"
+	if len(fields) < 3 {
+		return Ack{}, fmt.Errorf("server: bad update ack %q", line)
+	}
+	seq, err1 := strconv.ParseUint(fields[1], 10, 64)
+	total, err2 := strconv.ParseInt(fields[2], 10, 64)
+	if err1 != nil || err2 != nil {
+		return Ack{}, fmt.Errorf("server: bad update ack %q", line)
+	}
+	ack := Ack{Seq: seq, Total: total}
+	if len(fields) > 3 {
+		ack.Counts = make(map[string]int64, len(fields)-3)
+		for _, f := range fields[3:] {
+			name, val, ok := strings.Cut(f, "=")
+			if !ok {
+				return Ack{}, fmt.Errorf("server: bad update ack %q", line)
+			}
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Ack{}, fmt.Errorf("server: bad update ack %q", line)
+			}
+			ack.Counts[name] = n
+		}
+	}
+	return ack, nil
+}
+
+// Batch applies updates through the text batch frame.
+func (c *Client) Batch(ups []turboflux.Update) (BatchAck, error) {
+	if len(ups) == 0 {
+		return BatchAck{}, errors.New("server: empty batch")
+	}
+	var body strings.Builder
+	for _, u := range ups {
+		body.WriteString(u.String())
+		body.WriteByte('\n')
+	}
+	line, err := c.do(fmt.Sprintf("BATCH %d", len(ups)), []byte(body.String()))
+	if err != nil {
+		return BatchAck{}, err
+	}
+	return parseBatchAck(line)
+}
+
+// BatchBinary applies updates through the binary batch frame — the same
+// record encoding the write-ahead log uses.
+func (c *Client) BatchBinary(ups []turboflux.Update) (BatchAck, error) {
+	if len(ups) == 0 {
+		return BatchAck{}, errors.New("server: empty batch")
+	}
+	var body []byte
+	for _, u := range ups {
+		var err error
+		if body, err = stream.AppendBinary(body, u); err != nil {
+			return BatchAck{}, err
+		}
+	}
+	line, err := c.do(fmt.Sprintf("BATCHB %d", len(body)), body)
+	if err != nil {
+		return BatchAck{}, err
+	}
+	return parseBatchAck(line)
+}
+
+func parseBatchAck(line string) (BatchAck, error) {
+	fields := strings.Fields(line) // "OK <firstSeq> <applied> <total>"
+	if len(fields) != 4 {
+		return BatchAck{}, fmt.Errorf("server: bad batch ack %q", line)
+	}
+	first, err1 := strconv.ParseUint(fields[1], 10, 64)
+	applied, err2 := strconv.Atoi(fields[2])
+	total, err3 := strconv.ParseInt(fields[3], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return BatchAck{}, fmt.Errorf("server: bad batch ack %q", line)
+	}
+	return BatchAck{FirstSeq: first, Applied: applied, Total: total}, nil
+}
+
+// Subscribe starts streaming the query's matches to Events. It returns
+// the server sequence number the subscription starts after: matches of
+// later updates are delivered, earlier ones are not.
+func (c *Client) Subscribe(name string) (uint64, error) {
+	line, err := c.do("SUBSCRIBE "+name, nil)
+	if err != nil {
+		return 0, err
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 2 {
+		return 0, fmt.Errorf("server: bad SUBSCRIBE reply %q", line)
+	}
+	seq, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("server: bad SUBSCRIBE reply %q", line)
+	}
+	return seq, nil
+}
+
+// Unsubscribe stops streaming the query's matches.
+func (c *Client) Unsubscribe(name string) error {
+	_, err := c.do("UNSUBSCRIBE "+name, nil)
+	return err
+}
+
+// Stats returns the STATS payload lines (see the package comment).
+func (c *Client) Stats() ([]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.bw.WriteString("STATS\n"); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	head, err := c.recv()
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(head) // "DATA <n>"
+	if len(fields) != 2 || fields[0] != "DATA" {
+		return nil, fmt.Errorf("server: bad STATS reply %q", head)
+	}
+	n, err := strconv.Atoi(fields[1])
+	if err != nil || n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("server: bad STATS reply %q", head)
+	}
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		l, err := c.recvLine()
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, l)
+	}
+	return lines, nil
+}
+
+// Quit sends a clean goodbye and closes the connection.
+func (c *Client) Quit() error {
+	_, err := c.do("QUIT", nil)
+	cerr := c.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}

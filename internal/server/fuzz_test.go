@@ -1,0 +1,60 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRequest holds the request parser to its contract: malformed
+// input of any shape yields an error, never a panic, and success implies a
+// concrete request kind.
+func FuzzParseRequest(f *testing.F) {
+	seeds := []string{
+		"PING",
+		"QUIT",
+		"QUERIES",
+		"STATS",
+		"REGISTER pay (a:0)-[:1]->(b:0)",
+		"REGISTER R MATCH (a:Person)-[:follows]->(b:Person)",
+		"UNREGISTER pay",
+		"SUBSCRIBE pay",
+		"UNSUBSCRIBE pay",
+		"LABEL vertex Person",
+		"LABEL edge follows",
+		"BATCH 3",
+		"BATCHB 128",
+		"i 1 2 3",
+		"d 1 2 3",
+		"v 7 1,2",
+		"v 7",
+		"",
+		"   ",
+		"\r",
+		"REGISTER",
+		"BATCH 99999999999999999999",
+		"BATCHB -5",
+		"i 18446744073709551616 0 0",
+		"LABEL vertex \x00",
+		"PING PING PING",
+		strings.Repeat("A", 200),
+		"REGISTER " + strings.Repeat("n", 200) + " (a)-[:0]->(b)",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, line string) {
+		req, err := ParseRequest(line)
+		if err == nil && req.Kind == KindNone {
+			t.Fatalf("ParseRequest(%q) succeeded with KindNone", line)
+		}
+		if err != nil && req.Kind != KindNone {
+			t.Fatalf("ParseRequest(%q) errored with kind %d", line, req.Kind)
+		}
+		if req.Kind == KindBatch && (req.Count <= 0 || req.Count > MaxBatchRecords) {
+			t.Fatalf("ParseRequest(%q) accepted batch count %d", line, req.Count)
+		}
+		if req.Kind == KindBatchBin && (req.Count <= 0 || req.Count > MaxBatchBytes) {
+			t.Fatalf("ParseRequest(%q) accepted batch byte count %d", line, req.Count)
+		}
+	})
+}

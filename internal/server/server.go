@@ -1,0 +1,256 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turboflux"
+)
+
+// errServerClosed is returned to connection goroutines whose requests race
+// the actor's shutdown.
+var errServerClosed = errors.New("server: shut down")
+
+// defaultQueueDepth is the per-subscriber event queue capacity when
+// Options.QueueDepth is zero.
+const defaultQueueDepth = 256
+
+// Options configures a Server.
+type Options struct {
+	// QueueDepth is the per-subscriber bounded event queue capacity
+	// (default 256). Together with Slow it defines the slow-consumer
+	// behavior.
+	QueueDepth int
+	// Slow selects what happens when a subscriber's queue is full:
+	// PolicyBlock (default, lossless backpressure), PolicyDrop or
+	// PolicyEvict.
+	Slow SlowPolicy
+
+	// DataDir, when non-empty, backs the server with a durable store
+	// (turboflux.OpenDurableMulti): every accepted update is journaled to
+	// the write-ahead log before it is evaluated or acknowledged, and a
+	// restarted server recovers the graph from disk.
+	DataDir string
+	// Fsync is the durable-mode WAL sync policy ("always", "interval",
+	// "none"); ignored without DataDir.
+	Fsync string
+
+	// VertexLabels / EdgeLabels, when non-nil, seed the label
+	// dictionaries that REGISTER patterns and LABEL lookups resolve
+	// through. In durable mode they are merged with the recovered
+	// dictionaries exactly as for OpenDurable.
+	VertexLabels, EdgeLabels *turboflux.Dict
+
+	// Bootstrap is an optional initial-graph history applied (and, in
+	// durable mode, journaled) when the store is fresh.
+	Bootstrap []turboflux.Update
+}
+
+// Server is the TurboFlux network server: one engine-owner goroutine (the
+// actor) serializing all mutation and evaluation of a shared MultiEngine,
+// an acceptor, and one reader goroutine plus one pump goroutine per
+// subscription on every connection. See the package comment for the wire
+// protocol and DESIGN.md §10 for the architecture.
+type Server struct {
+	opt   Options
+	actor *actor
+	host  engineHost
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	conns   map[*conn]struct{}
+	connSeq uint64
+
+	connWG    sync.WaitGroup
+	connCount atomic.Int64
+
+	stopping  chan struct{}
+	stopOnce  sync.Once
+	actorOnce sync.Once
+}
+
+// New builds a server over a fresh in-memory engine, or over the durable
+// store in opt.DataDir. The actor starts immediately; call Shutdown to
+// release it even if Serve is never reached.
+func New(opt Options) (*Server, error) {
+	if opt.QueueDepth <= 0 {
+		opt.QueueDepth = defaultQueueDepth
+	}
+	var (
+		host    engineHost
+		durable *turboflux.DurableMultiEngine
+		vdict   = opt.VertexLabels
+		edict   = opt.EdgeLabels
+	)
+	if opt.DataDir != "" {
+		d, err := turboflux.OpenDurableMulti(opt.DataDir, turboflux.DurableMultiOptions{
+			Fsync:        opt.Fsync,
+			VertexLabels: opt.VertexLabels,
+			EdgeLabels:   opt.EdgeLabels,
+			Bootstrap:    opt.Bootstrap,
+		})
+		if err != nil {
+			return nil, err
+		}
+		durable = d
+		host = d
+		vdict = d.VertexLabels()
+		edict = d.EdgeLabels()
+	} else {
+		if vdict == nil {
+			vdict = turboflux.NewDict()
+		}
+		if edict == nil {
+			edict = turboflux.NewDict()
+		}
+		g := turboflux.NewGraph()
+		for _, u := range opt.Bootstrap {
+			u.Apply(g)
+		}
+		host = turboflux.NewMultiEngine(g)
+	}
+	s := &Server{
+		opt:      opt,
+		host:     host,
+		conns:    make(map[*conn]struct{}),
+		stopping: make(chan struct{}),
+	}
+	s.actor = newActor(host, durable, vdict, edict, opt.Slow, opt.QueueDepth, &s.connCount)
+	go s.actor.run()
+	return s, nil
+}
+
+// Recovery returns what a durable-mode server found on disk; the zero
+// value in memory-only mode.
+func (s *Server) Recovery() turboflux.RecoveryInfo {
+	if s.actor.durable == nil {
+		return turboflux.RecoveryInfo{}
+	}
+	return s.actor.durable.Recovery()
+}
+
+// Listen binds the TCP address ("host:port"; ":0" picks a free port).
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the bound listener address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections until Shutdown. It returns nil on graceful
+// shutdown, or the first fatal accept error.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		nc, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.stopping:
+				return nil
+			default:
+				return fmt.Errorf("server: accept: %w", err)
+			}
+		}
+		s.mu.Lock()
+		select {
+		case <-s.stopping:
+			s.mu.Unlock()
+			nc.Close() //tf:unchecked-ok rejecting during shutdown
+			continue
+		default:
+		}
+		s.connSeq++
+		c := newConn(s, nc, s.connSeq)
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connCount.Add(1)
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			c.serve()
+		}()
+	}
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	s.connCount.Add(-1)
+}
+
+// Shutdown stops the server gracefully: stop accepting, wake every
+// connection reader so in-flight requests finish, wait for the pumps to
+// flush the subscriber queues, then stop the actor — which drains the
+// requests already accepted and closes the WAL cleanly. If ctx expires
+// first, remaining connections are force-closed (their pumps then drain
+// to a dead socket, so nothing blocks) and shutdown still completes;
+// ctx's error is reported after the store is closed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.stopOnce.Do(func() {
+		close(s.stopping)
+	})
+	if s.ln != nil {
+		s.ln.Close() //tf:unchecked-ok shutting down
+	}
+	s.mu.Lock()
+	//tf:unordered-ok waking readers; order is irrelevant
+	for c := range s.conns {
+		c.nc.SetReadDeadline(time.Now()) //tf:unchecked-ok best-effort wake
+	}
+	s.mu.Unlock()
+
+	connsDone := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(connsDone)
+	}()
+	var ctxErr error
+	select {
+	case <-connsDone:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
+		s.mu.Lock()
+		//tf:unordered-ok force-closing; order is irrelevant
+		for c := range s.conns {
+			c.nc.Close() //tf:unchecked-ok force close
+		}
+		s.mu.Unlock()
+		<-connsDone
+	}
+
+	s.actorOnce.Do(func() {
+		close(s.actor.stop)
+	})
+	<-s.actor.done
+	if s.actor.closeErr != nil {
+		return s.actor.closeErr
+	}
+	return ctxErr
+}

@@ -1,0 +1,406 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"turboflux"
+	"turboflux/internal/graph"
+	"turboflux/internal/stream"
+)
+
+// newTestActor builds an actor over a fresh in-memory MultiEngine, started
+// and torn down with the test.
+func newTestActor(t *testing.T, policy SlowPolicy, depth int) *actor {
+	t.Helper()
+	var conns atomic.Int64
+	a := newActor(turboflux.NewMultiEngine(turboflux.NewGraph()),
+		nil, turboflux.NewDict(), turboflux.NewDict(), policy, depth, &conns)
+	go a.run()
+	t.Cleanup(func() {
+		select {
+		case <-a.done:
+		default:
+			close(a.stop)
+			<-a.done
+		}
+	})
+	return a
+}
+
+// prepareSocial registers a Person-knows-Person query and declares n
+// labeled vertices 1..n, returning the interned edge label.
+func prepareSocial(t *testing.T, a *actor, n int) turboflux.Label {
+	t.Helper()
+	if resp, err := a.call(request{kind: reqRegister, name: "social", arg: "(a:Person)-[:knows]->(b:Person)"}); err != nil || resp.err != nil {
+		t.Fatalf("register: %v %v", err, resp.err)
+	}
+	person, _ := a.vdict.Lookup("Person")
+	knows, ok := a.edict.Lookup("knows")
+	if !ok {
+		t.Fatal("knows not interned by REGISTER")
+	}
+	for i := 1; i <= n; i++ {
+		u := stream.DeclareVertex(graph.VertexID(i), person)
+		if resp, err := a.call(request{kind: reqApply, u: u}); err != nil || resp.err != nil {
+			t.Fatalf("declare %d: %v %v", i, err, resp.err)
+		}
+	}
+	return knows
+}
+
+func TestActorPolicyDrop(t *testing.T) {
+	a := newTestActor(t, PolicyDrop, 1)
+	knows := prepareSocial(t, a, 4)
+	sub := newSubscriber("social", 1, 1)
+	if resp, err := a.call(request{kind: reqSubscribe, name: "social", sub: sub}); err != nil || resp.err != nil {
+		t.Fatalf("subscribe: %v %v", err, resp.err)
+	}
+	// Three matches into a capacity-1 queue nobody drains: one queued, two
+	// dropped, ingest never stalls.
+	for i := 0; i < 3; i++ {
+		u := stream.Insert(graph.VertexID(i+1), knows, graph.VertexID(i+2))
+		resp, err := a.call(request{kind: reqApply, u: u})
+		if err != nil || resp.err != nil {
+			t.Fatalf("insert %d: %v %v", i, err, resp.err)
+		}
+		if resp.total != 1 {
+			t.Fatalf("insert %d: total = %d", i, resp.total)
+		}
+	}
+	resp, err := a.call(request{kind: reqStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(resp.lines, "\n")
+	if !strings.Contains(joined, "dropped=2") {
+		t.Fatalf("STATS missing dropped=2:\n%s", joined)
+	}
+	if sub.closed() {
+		t.Fatal("drop policy must not close the subscription")
+	}
+	// Stop the actor (happens-before via done) and check the counters.
+	close(a.stop)
+	<-a.done
+	if sub.enqueued != 1 || sub.dropped != 2 {
+		t.Fatalf("enqueued=%d dropped=%d, want 1/2", sub.enqueued, sub.dropped)
+	}
+	if len(sub.ch) != 1 {
+		t.Fatalf("queue depth = %d", len(sub.ch))
+	}
+	if ev := <-sub.ch; ev.seq == 0 || !ev.positive {
+		t.Fatalf("queued event = %+v", ev)
+	}
+}
+
+func TestActorPolicyEvict(t *testing.T) {
+	a := newTestActor(t, PolicyEvict, 1)
+	knows := prepareSocial(t, a, 3)
+	sub := newSubscriber("social", 1, 1)
+	if resp, err := a.call(request{kind: reqSubscribe, name: "social", sub: sub}); err != nil || resp.err != nil {
+		t.Fatalf("subscribe: %v %v", err, resp.err)
+	}
+	// First match fills the queue; the second overflows and cancels the
+	// subscription instead of stalling or dropping silently.
+	for i := 0; i < 2; i++ {
+		u := stream.Insert(graph.VertexID(i+1), knows, graph.VertexID(i+2))
+		if resp, err := a.call(request{kind: reqApply, u: u}); err != nil || resp.err != nil {
+			t.Fatalf("insert %d: %v %v", i, err, resp.err)
+		}
+	}
+	if !sub.closed() {
+		t.Fatal("overflow must close the subscription")
+	}
+	if !sub.evicted.Load() {
+		t.Fatal("overflow must mark the subscription evicted")
+	}
+	resp, err := a.call(request{kind: reqStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(resp.lines, "\n")
+	if !strings.Contains(joined, "evicted=1") {
+		t.Fatalf("STATS missing evicted=1:\n%s", joined)
+	}
+	// The event queued before eviction is still there for the pump to
+	// flush.
+	if len(sub.ch) != 1 {
+		t.Fatalf("queue depth = %d", len(sub.ch))
+	}
+}
+
+func TestActorPolicyBlock(t *testing.T) {
+	a := newTestActor(t, PolicyBlock, 1)
+	knows := prepareSocial(t, a, 3)
+	sub := newSubscriber("social", 1, 1)
+	if resp, err := a.call(request{kind: reqSubscribe, name: "social", sub: sub}); err != nil || resp.err != nil {
+		t.Fatalf("subscribe: %v %v", err, resp.err)
+	}
+	if resp, err := a.call(request{kind: reqApply, u: stream.Insert(1, knows, 2)}); err != nil || resp.err != nil {
+		t.Fatalf("insert: %v %v", err, resp.err)
+	}
+	// The queue is full: the next matching update must not be acked until
+	// the subscriber drains — lossless backpressure.
+	ack := make(chan response, 1)
+	go func() {
+		resp, err := a.call(request{kind: reqApply, u: stream.Insert(2, knows, 3)})
+		if err == nil {
+			ack <- resp
+		}
+	}()
+	select {
+	case resp := <-ack:
+		t.Fatalf("blocked update acked early: %+v", resp)
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Three vertex declarations preceded the inserts, so the first match
+	// carries sequence number 4.
+	ev := <-sub.ch // drain one slot; the actor unblocks
+	if ev.seq != 4 || !ev.positive {
+		t.Fatalf("first event = %+v", ev)
+	}
+	select {
+	case resp := <-ack:
+		if resp.err != nil || resp.total != 1 {
+			t.Fatalf("unblocked ack = %+v", resp)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("update still blocked after drain")
+	}
+	if ev := <-sub.ch; ev.seq != 5 {
+		t.Fatalf("second event = %+v", ev)
+	}
+	// A blocked actor must also release when the subscription closes (the
+	// connection-teardown path).
+	done := make(chan struct{})
+	go func() {
+		a.call(request{kind: reqApply, u: stream.Insert(1, knows, 3)}) //tf:unchecked-ok only liveness matters
+		a.call(request{kind: reqApply, u: stream.Insert(2, knows, 1)}) //tf:unchecked-ok only liveness matters
+		close(done)
+	}()
+	time.Sleep(20 * time.Millisecond)
+	sub.close()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("closing the subscription did not release the actor")
+	}
+}
+
+// startServer runs a server on a loopback port and tears it down with the
+// test; it returns the server and its dial address.
+func startServer(t *testing.T, opt Options) (*Server, string) {
+	t.Helper()
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- s.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return s, s.Addr().String()
+}
+
+func dialTest(t *testing.T, addr string) *Client {
+	t.Helper()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() }) //tf:unchecked-ok test cleanup
+	return c
+}
+
+func TestServerBasics(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	c := dialTest(t, addr)
+
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("social", "(a:Person)-[:knows]->(b:Person)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register("social", "(a)-[:knows]->(b)"); err == nil {
+		t.Fatal("duplicate register must fail")
+	}
+	names, err := c.Queries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "social" {
+		t.Fatalf("Queries = %v", names)
+	}
+	person, err := c.Label("vertex", "Person")
+	if err != nil {
+		t.Fatal(err)
+	}
+	knows, err := c.Label("edge", "knows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := turboflux.VertexID(1); v <= 4; v++ {
+		if _, err := c.DeclareVertex(v, person); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ack, err := c.Insert(1, knows, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Total != 1 || ack.Counts["social"] != 1 {
+		t.Fatalf("ack = %+v", ack)
+	}
+	if ack.Seq == 0 {
+		t.Fatal("ack missing sequence number")
+	}
+
+	seq, err := c.Subscribe("social")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != ack.Seq {
+		t.Fatalf("subscribe seq = %d, want %d", seq, ack.Seq)
+	}
+	if _, err := c.Subscribe("social"); err == nil {
+		t.Fatal("duplicate subscribe must fail")
+	}
+	if _, err := c.Subscribe("nosuch"); err == nil {
+		t.Fatal("subscribe to unknown query must fail")
+	}
+
+	ack2, err := c.Insert(2, knows, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := <-c.Events()
+	if ev.Query != "social" || !ev.Positive || ev.Seq != ack2.Seq {
+		t.Fatalf("event = %+v", ev)
+	}
+	if len(ev.Mapping) != 2 || ev.Mapping[0] != 2 || ev.Mapping[1] != 3 {
+		t.Fatalf("event mapping = %v", ev.Mapping)
+	}
+	if _, err := c.Delete(2, knows, 3); err != nil {
+		t.Fatal(err)
+	}
+	ev = <-c.Events()
+	if ev.Positive {
+		t.Fatalf("expected negative event, got %+v", ev)
+	}
+
+	// Batch ingest, text and binary framing.
+	batch := []turboflux.Update{
+		turboflux.Insert(3, knows, 4),
+		turboflux.Delete(3, knows, 4),
+	}
+	back, err := c.Batch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Applied != 2 || back.Total != 2 {
+		t.Fatalf("batch ack = %+v", back)
+	}
+	<-c.Events()
+	<-c.Events()
+	bback, err := c.BatchBinary(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bback.Applied != 2 || bback.Total != 2 || bback.FirstSeq != back.FirstSeq+2 {
+		t.Fatalf("binary batch ack = %+v after %+v", bback, back)
+	}
+	<-c.Events()
+	<-c.Events()
+
+	lines, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"server conns=", "apply_latency n=", "query social ", "sub social conn="} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("STATS missing %q:\n%s", want, joined)
+		}
+	}
+
+	if err := c.Unsubscribe("social"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unsubscribe("social"); err == nil {
+		t.Fatal("double unsubscribe must fail")
+	}
+	if err := c.Unregister("social"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unregister("social"); err == nil {
+		t.Fatal("double unregister must fail")
+	}
+	if err := c.Quit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerBadInput(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	c := dialTest(t, addr)
+	// Protocol errors are per-request: the connection survives them.
+	if _, err := c.do("NOSUCH", nil); err == nil {
+		t.Fatal("unknown command must fail")
+	}
+	if _, err := c.do("i 1 2", nil); err == nil {
+		t.Fatal("short update must fail")
+	}
+	if _, err := c.do("BATCH 2", []byte("i 1 2 3\nbogus line\n")); err == nil {
+		t.Fatal("bad batch record must fail")
+	}
+	// The failed batch applied nothing and the connection is still usable.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	ack, err := c.Insert(1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Seq != 1 {
+		t.Fatalf("seq = %d, want 1 (failed batch must not consume sequence numbers)", ack.Seq)
+	}
+}
+
+func TestServerEvictedNoticeOnUnregister(t *testing.T) {
+	_, addr := startServer(t, Options{})
+	owner := dialTest(t, addr)
+	watcher := dialTest(t, addr)
+
+	if err := owner.Register("q", "(a:P)-[:e]->(b:P)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := watcher.Subscribe("q"); err != nil {
+		t.Fatal(err)
+	}
+	if err := owner.Unregister("q"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-watcher.Events():
+		if !ev.Evicted || ev.Query != "q" {
+			t.Fatalf("event = %+v, want eviction notice for q", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no *EVICTED notice after UNREGISTER")
+	}
+}

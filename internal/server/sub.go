@@ -1,0 +1,154 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"turboflux/internal/graph"
+)
+
+// SlowPolicy selects what the engine-owner does when a subscriber's
+// bounded event queue is full.
+type SlowPolicy uint8
+
+const (
+	// PolicyBlock stalls the update (and therefore its ack) until the
+	// subscriber drains — lossless backpressure that propagates to every
+	// producer, because updates are serialized through one actor.
+	PolicyBlock SlowPolicy = iota
+	// PolicyDrop discards the newest event and increments the
+	// subscriber's drop counter (surfaced by STATS). Ingest never stalls;
+	// the subscriber's transcript gets holes.
+	PolicyDrop
+	// PolicyEvict cancels the subscription: the subscriber receives an
+	// *EVICTED notice after the events already queued. Ingest never
+	// stalls and surviving subscribers keep lossless transcripts.
+	PolicyEvict
+)
+
+// ParseSlowPolicy parses "block", "drop" or "evict".
+func ParseSlowPolicy(s string) (SlowPolicy, error) {
+	switch s {
+	case "block":
+		return PolicyBlock, nil
+	case "drop":
+		return PolicyDrop, nil
+	case "evict":
+		return PolicyEvict, nil
+	default:
+		return 0, fmt.Errorf("server: unknown slow-consumer policy %q (want block, drop or evict)", s)
+	}
+}
+
+// String returns the flag spelling of the policy.
+func (p SlowPolicy) String() string {
+	switch p {
+	case PolicyBlock:
+		return "block"
+	case PolicyDrop:
+		return "drop"
+	case PolicyEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("policy(%d)", uint8(p))
+	}
+}
+
+// event is one match delivery: the query it belongs to, the server's
+// global update sequence number that produced it, the sign, and a private
+// copy of the query-vertex -> data-vertex mapping.
+type event struct {
+	query    string
+	seq      uint64
+	positive bool
+	mapping  []graph.VertexID
+}
+
+// subscriber is one (connection, query) match stream: a bounded queue
+// filled by the engine-owner goroutine and drained by the connection's
+// pump goroutine. All counter fields are owned by the actor goroutine
+// (written during enqueue, read during STATS); the pump only receives
+// from ch and waits on done.
+type subscriber struct {
+	query  string
+	connID uint64
+	ch     chan event
+	done   chan struct{} // closed exactly once: unsubscribe, eviction, conn teardown or shutdown
+	once   sync.Once
+	// evicted is set by the actor when the policy cancels the
+	// subscription and read by the pump after done closes; atomic because
+	// a concurrent connection teardown can race the eviction.
+	evicted atomic.Bool
+
+	// Actor-owned lag counters, surfaced by STATS.
+	enqueued uint64
+	dropped  uint64
+	maxDepth int
+}
+
+func newSubscriber(query string, connID uint64, depth int) *subscriber {
+	if depth <= 0 {
+		depth = defaultQueueDepth
+	}
+	return &subscriber{
+		query:  query,
+		connID: connID,
+		ch:     make(chan event, depth),
+		done:   make(chan struct{}),
+	}
+}
+
+// close marks the subscription finished. Safe to call from any goroutine,
+// any number of times.
+func (s *subscriber) close() { s.once.Do(s.closeDone) }
+
+func (s *subscriber) closeDone() { close(s.done) }
+
+// closed reports whether the subscription has finished (nonblocking).
+func (s *subscriber) closed() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// enqueue delivers ev under the given policy and reports whether the
+// event was queued. Called only by the engine-owner goroutine; this is
+// the per-match fan-out step, so it must not allocate.
+//
+//tf:hotpath
+func (s *subscriber) enqueue(ev event, policy SlowPolicy) bool {
+	switch policy {
+	case PolicyBlock:
+		select {
+		case s.ch <- ev:
+		case <-s.done:
+			return false
+		}
+	case PolicyDrop:
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped++
+			return false
+		}
+	case PolicyEvict:
+		select {
+		case s.ch <- ev:
+		default:
+			s.evicted.Store(true)
+			s.close()
+			return false
+		}
+	default:
+		return false
+	}
+	s.enqueued++
+	if d := len(s.ch); d > s.maxDepth {
+		s.maxDepth = d
+	}
+	return true
+}

@@ -71,6 +71,37 @@ func (l *Latency) Percentile(p float64) time.Duration {
 	return s[idx]
 }
 
+// Quantiles returns the given percentiles in one pass over a single sorted
+// copy of the sample — cheaper than repeated Percentile calls when a
+// caller (the server's STATS command, the serve benchmark report) wants
+// several cuts of the same distribution.
+func (l *Latency) Quantiles(ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(l.samples) == 0 {
+		return out
+	}
+	s := append([]time.Duration(nil), l.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	for k, p := range ps {
+		switch {
+		case p <= 0:
+			out[k] = s[0]
+		case p >= 100:
+			out[k] = s[len(s)-1]
+		default:
+			idx := int(float64(len(s))*p/100+0.5) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(s) {
+				idx = len(s) - 1
+			}
+			out[k] = s[idx]
+		}
+	}
+	return out
+}
+
 // String renders p50/p95/p99 compactly.
 func (l *Latency) String() string {
 	return fmt.Sprintf("p50=%s p95=%s p99=%s (n=%d)",

@@ -16,6 +16,15 @@ func FuzzDecode(f *testing.F) {
 		"x y z\n",
 		"i 4294967295 65535 0\n",
 		"v 1\n",
+		// Server protocol frames (see internal/server): the decoder must
+		// reject the command lines without choking on the embedded records.
+		"REGISTER q (a:0)-[:0]->(b)\n",
+		"SUBSCRIBE q\n",
+		"BATCH 2\ni 1 2 3\nd 1 2 3\n",
+		"BATCHB 16\ni 1 2 3\n",
+		"STATS\nQUIT\n",
+		"+OK 1 0\n-ERR bad\n*EVENT q 1 + 2 3\n",
+		"i 1 2 3\r\nPING\r\n",
 	} {
 		f.Add(seed)
 	}

@@ -162,6 +162,18 @@ func Decode(r io.Reader) ([]Update, error) {
 	return ups, nil
 }
 
+// ParseLine parses one text-format record ("i 1 5 2", "v 3 1,7") without
+// the surrounding stream framing. Blank lines and comments are errors here;
+// Decode filters them before calling in. The network server reuses this to
+// accept single wire updates in the stream text format.
+func ParseLine(line string) (Update, error) {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return Update{}, fmt.Errorf("stream: empty record")
+	}
+	return parseFields(fields)
+}
+
 func parseFields(fields []string) (Update, error) {
 	switch fields[0] {
 	case "v":

@@ -37,6 +37,7 @@ func (m *MultiEngine) Register(name string, q *Query, opt Options) error {
 	copt.Semantics = opt.Semantics
 	copt.Search = opt.Search
 	copt.OnMatch = opt.OnMatch
+	copt.WorkBudget = opt.WorkBudget
 	eng, err := core.New(m.g, q, copt)
 	if err != nil {
 		return err

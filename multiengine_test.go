@@ -1,6 +1,8 @@
 package turboflux
 
 import (
+	"errors"
+	"strings"
 	"testing"
 )
 
@@ -125,6 +127,71 @@ func TestMultiEngineDuplicateAndUnregister(t *testing.T) {
 	}
 	if err := m.Register("bad", NewQuery(0), Options{}); err == nil {
 		t.Fatal("invalid query must fail")
+	}
+}
+
+func TestMultiEngineReRegisterSameName(t *testing.T) {
+	m, _ := multiFixture(t)
+	if !m.Unregister("social") {
+		t.Fatal("Unregister existing must succeed")
+	}
+	// The freed name is immediately reusable, and the replacement query
+	// starts from the current graph, not the original registration's g0.
+	q := NewQuery(2)
+	q.SetLabels(0, 0)
+	q.SetLabels(1, 0)
+	_ = q.AddEdge(0, 2, 1)
+	var got []string
+	if err := m.Register("social", q, Options{
+		OnMatch: func(positive bool, _ []VertexID) {
+			if positive {
+				got = append(got, "+")
+			} else {
+				got = append(got, "-")
+			}
+		},
+	}); err != nil {
+		t.Fatalf("re-register freed name: %v", err)
+	}
+	if queries := m.Queries(); len(queries) != 2 || queries[1] != "social" {
+		t.Fatalf("Queries after re-register = %v", queries)
+	}
+	counts, err := m.Insert(1, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["social"] != 1 || len(got) != 1 || got[0] != "+" {
+		t.Fatalf("re-registered query inert: counts=%v events=%v", counts, got)
+	}
+}
+
+func TestMultiEngineFanOutError(t *testing.T) {
+	m, _ := multiFixture(t)
+	// A starved query makes the fan-out fail with the query's name in the
+	// error; queries evaluated before it keep their results.
+	q := NewQuery(2)
+	q.SetLabels(0, 0)
+	q.SetLabels(1, 0)
+	_ = q.AddEdge(0, 2, 1)
+	// Budget 2 is enough to register against the small fixture graph but
+	// not to evaluate the triggering insertion.
+	if err := m.Register("starved", q, Options{WorkBudget: 2}); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := m.Insert(1, 2, 2)
+	if err == nil {
+		t.Fatal("starved query must abort the update")
+	}
+	if !errors.Is(err, ErrWorkBudget) {
+		t.Fatalf("err = %v, want ErrWorkBudget", err)
+	}
+	if !strings.Contains(err.Error(), `"starved"`) {
+		t.Fatalf("err = %v, want the failing query's name", err)
+	}
+	// payment and social are registered before starved, so their
+	// evaluation completed; the partial counts are returned.
+	if counts["social"] != 1 {
+		t.Fatalf("partial counts = %v; earlier queries' results lost", counts)
 	}
 }
 

@@ -137,7 +137,17 @@ type Options struct {
 	// The mapping slice (query vertex -> data vertex) is reused across
 	// calls; copy it if retained.
 	OnMatch func(positive bool, mapping []VertexID)
+	// WorkBudget caps the work units (search and maintenance steps) spent
+	// on a single update; when exceeded the update aborts with
+	// ErrWorkBudget and its match reporting is incomplete. 0 means
+	// unlimited.
+	WorkBudget int64
 }
+
+// ErrWorkBudget reports that an update exceeded Options.WorkBudget and was
+// aborted. Test with errors.Is; MultiEngine wraps it with the offending
+// query's name.
+var ErrWorkBudget = core.ErrWorkBudget
 
 // Engine is a continuous subgraph matching instance.
 type Engine struct {
@@ -153,6 +163,7 @@ func NewEngine(g0 *Graph, q *Query, opt Options) (*Engine, error) {
 	copt.Semantics = opt.Semantics
 	copt.Search = opt.Search
 	copt.OnMatch = opt.OnMatch
+	copt.WorkBudget = opt.WorkBudget
 	inner, err := core.New(g0, q, copt)
 	if err != nil {
 		return nil, err
