@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,6 +29,9 @@ func main() {
 	serveClients := flag.Int("serve-clients", 4, "concurrent writer clients for -exp serve")
 	serveQueries := flag.Int("serve-queries", 4, "registered queries for -exp serve")
 	serveUpdates := flag.Int("serve-updates", 5000, "updates per client for -exp serve")
+	fanoutOut := flag.String("fanout-out", "BENCH_fanout.json", "report path for -exp fanout")
+	fanoutUpdates := flag.Int("fanout-updates", 100000, "updates per grid cell for -exp fanout")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this path")
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "LSBench scale factor (#users)")
 	flag.IntVar(&cfg.Hosts, "hosts", cfg.Hosts, "Netflow host count")
 	flag.IntVar(&cfg.Triples, "triples", cfg.Triples, "Netflow triple count")
@@ -43,10 +47,24 @@ func main() {
 		cfg.CSV = harness.NewCSVSink(*csvDir)
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "turboflux-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "turboflux-bench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	if *list {
 		fmt.Println(strings.Join(harness.Experiments(), "\n"))
 		fmt.Println("durability")
 		fmt.Println("serve")
+		fmt.Println("fanout")
 		return
 	}
 	if *exp == "" {
@@ -69,6 +87,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stdout, "\n[serve completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *exp == "fanout" {
+		start := time.Now()
+		if err := runFanout(*fanoutOut, *fanoutUpdates); err != nil {
+			fmt.Fprintln(os.Stderr, "turboflux-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "\n[fanout completed in %s]\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	start := time.Now()

@@ -40,24 +40,26 @@ func main() {
 	graphPath := flag.String("graph", "", "optional initial graph file (text stream format; seeds a fresh store)")
 	numeric := flag.Bool("numeric-labels", false, "pre-intern labels 0..255 so numeric label names map to themselves")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout before connections are force-closed")
+	workers := flag.Int("fanout-workers", 0, "multi-query fan-out worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	if err := run(*addr, *dataDir, *fsync, *graphPath, *slow, *queue, *numeric, *drain); err != nil {
+	if err := run(*addr, *dataDir, *fsync, *graphPath, *slow, *queue, *workers, *numeric, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "turboflux-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir, fsync, graphPath, slow string, queue int, numeric bool, drain time.Duration) error {
+func run(addr, dataDir, fsync, graphPath, slow string, queue, workers int, numeric bool, drain time.Duration) error {
 	policy, err := server.ParseSlowPolicy(slow)
 	if err != nil {
 		return err
 	}
 	opt := server.Options{
-		QueueDepth: queue,
-		Slow:       policy,
-		DataDir:    dataDir,
-		Fsync:      fsync,
+		QueueDepth:    queue,
+		Slow:          policy,
+		DataDir:       dataDir,
+		Fsync:         fsync,
+		FanOutWorkers: workers,
 	}
 	if numeric {
 		opt.VertexLabels = numericDict()

@@ -1,7 +1,7 @@
 // Command turboflux-vet runs the TurboFlux invariant analyzers over the
 // repository: oracle-isolation, dcg-encapsulation, deterministic-emission,
-// hotpath-alloc and unchecked-error (see DESIGN.md, "Enforced
-// invariants").
+// eval-readonly, hotpath-alloc and unchecked-error (see DESIGN.md,
+// "Enforced invariants").
 //
 // Usage:
 //

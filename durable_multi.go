@@ -27,6 +27,11 @@ type DurableMultiOptions struct {
 	// Bootstrap is an optional initial-graph history, journaled and
 	// applied only when the store is fresh.
 	Bootstrap []Update
+
+	// FanOutWorkers sizes the multi-query fan-out worker pool (default
+	// GOMAXPROCS; 1 selects the sequential path). See
+	// MultiEngine.SetFanOutWorkers.
+	FanOutWorkers int
 }
 
 // DurableMultiEngine is a MultiEngine whose update stream survives process
@@ -87,10 +92,13 @@ func OpenDurableMulti(dir string, opt DurableMultiOptions) (*DurableMultiEngine,
 		}
 	}
 
+	m := NewMultiEngine(st.Graph())
+	m.SetFanOutWorkers(opt.FanOutWorkers)
+
 	rec := st.Recovery()
 	return &DurableMultiEngine{
 		store: st,
-		m:     NewMultiEngine(st.Graph()),
+		m:     m,
 		rec: RecoveryInfo{
 			SnapshotLSN:    rec.SnapshotLSN,
 			Replayed:       rec.Replayed,
@@ -154,9 +162,13 @@ func (d *DurableMultiEngine) Compact() error { return d.store.Compact() }
 // policy.
 func (d *DurableMultiEngine) Sync() error { return d.store.Sync() }
 
-// Close syncs and closes the journal. The engine is unusable afterwards;
-// reopen the directory with OpenDurableMulti to resume.
-func (d *DurableMultiEngine) Close() error { return d.store.Close() }
+// Close releases the fan-out worker pool, then syncs and closes the
+// journal. The engine is unusable afterwards; reopen the directory with
+// OpenDurableMulti to resume.
+func (d *DurableMultiEngine) Close() error {
+	d.m.Close() //tf:unchecked-ok pool release never fails
+	return d.store.Close()
+}
 
 // LSN returns the log position of the last journaled update.
 func (d *DurableMultiEngine) LSN() uint64 { return d.store.LSN() }
@@ -172,3 +184,6 @@ func (d *DurableMultiEngine) EdgeLabels() *Dict { return d.store.EdgeLabels() }
 
 // Stats returns a per-query snapshot of engine counters, keyed by name.
 func (d *DurableMultiEngine) Stats() map[string]Stats { return d.m.Stats() }
+
+// FanOutStats snapshots the fan-out counters.
+func (d *DurableMultiEngine) FanOutStats() FanOutStats { return d.m.FanOutStats() }

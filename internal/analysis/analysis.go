@@ -1,7 +1,8 @@
 // Package analysis is a small stdlib-only static-analysis framework for
 // enforcing TurboFlux-specific invariants that the Go compiler cannot see:
 // oracle isolation, DCG encapsulation, deterministic match emission,
-// hot-path allocation discipline and error-handling hygiene.
+// read-only eval paths, hot-path allocation discipline and error-handling
+// hygiene.
 //
 // It deliberately mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer runs over one type-checked package at a time and reports
@@ -21,6 +22,8 @@
 //	//tf:oracle-ok      gated slow-path use of the DCG fixpoint oracle
 //	//tf:unchecked-ok   discarding this error is deliberate
 //	//tf:alloc-ok       this allocation in a hot path is deliberate
+//	//tf:eval-path      function is an extra eval-readonly root (opt-in check)
+//	//tf:graph-write    coordinator-only code exempt from eval-readonly
 package analysis
 
 import (

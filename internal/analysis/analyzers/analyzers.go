@@ -1,4 +1,4 @@
-// Package analyzers holds the turboflux-vet analyzer suite: five checks
+// Package analyzers holds the turboflux-vet analyzer suite: six checks
 // that machine-enforce TurboFlux invariants the compiler cannot see. See
 // DESIGN.md, "Enforced invariants", for the invariant each check guards
 // and the suppression annotations it honors.
@@ -17,6 +17,7 @@ func All() []*analysis.Analyzer {
 		OracleIsolation,
 		DCGEncapsulation,
 		DeterministicEmission,
+		EvalReadonly,
 		HotpathAlloc,
 		UncheckedError,
 	}
@@ -31,6 +32,7 @@ var emissionScope = map[string]bool{
 	"":                true,
 	"internal/core":   true,
 	"internal/dcg":    true,
+	"internal/fanout": true,
 	"internal/query":  true,
 	"internal/server": true,
 }

@@ -1,0 +1,48 @@
+// Package core exercises the eval-readonly reachability rule: graph
+// mutations are fine in coordinator methods but not in anything reachable
+// from an eval entry point.
+package core
+
+import "turboflux/internal/graph"
+
+// Engine owns a private DCG over the shared graph.
+type Engine struct {
+	g *graph.Graph
+}
+
+// EvalInsertedEdge is an implicit eval entry point; the mutation hides
+// two calls down.
+func (e *Engine) EvalInsertedEdge(from, to graph.VertexID) {
+	e.extend(from, to)
+}
+
+// extend is an intermediate hop on the eval path.
+func (e *Engine) extend(from, to graph.VertexID) {
+	if !e.g.HasEdge(from, to) {
+		e.repair(from, to)
+	}
+}
+
+// repair mutates the graph from deep inside the eval path: finding.
+func (e *Engine) repair(from, to graph.VertexID) {
+	e.g.InsertEdge(from, to)
+}
+
+// InsertEdge is the coordinator: mutate-then-eval is the intended shape
+// and must not be reported.
+func (e *Engine) InsertEdge(from, to graph.VertexID) {
+	e.g.InsertEdge(from, to)
+	e.EvalInsertedEdge(from, to)
+}
+
+// seed is opted in as an eval root and mutates directly: finding.
+//
+//tf:eval-path
+func (e *Engine) seed(v graph.VertexID) {
+	e.g.EnsureVertex(v)
+}
+
+// rollback mutates but is unreachable from any eval root: clean.
+func (e *Engine) rollback(from, to graph.VertexID) {
+	e.g.DeleteEdge(from, to)
+}

@@ -1,0 +1,18 @@
+// Package dcg exercises the package-wide rule: DCG maintenance runs only
+// inside evaluation, so every graph-mutator call is a finding unless the
+// function is exempted as coordinator-only.
+package dcg
+
+import "turboflux/internal/graph"
+
+// Rebuild mutates the graph during DCG maintenance: finding.
+func Rebuild(g *graph.Graph, v graph.VertexID) {
+	g.EnsureVertex(v)
+}
+
+// Seed is coordinator-only bootstrap code, exempted.
+//
+//tf:graph-write bootstrap runs before any engine exists
+func Seed(g *graph.Graph, v graph.VertexID) {
+	g.EnsureVertex(v)
+}

@@ -1,0 +1,36 @@
+// Package graph is a stub of the data graph: the mutator/reader split is
+// what the eval-readonly analyzer keys on.
+package graph
+
+// VertexID identifies a vertex.
+type VertexID uint32
+
+// Graph is the shared data graph.
+type Graph struct {
+	n int
+}
+
+// InsertEdge mutates the graph.
+func (g *Graph) InsertEdge(from, to VertexID) bool {
+	g.n++
+	return true
+}
+
+// DeleteEdge mutates the graph.
+func (g *Graph) DeleteEdge(from, to VertexID) bool {
+	g.n--
+	return true
+}
+
+// EnsureVertex mutates the graph.
+func (g *Graph) EnsureVertex(v VertexID) {
+	g.n++
+}
+
+// HasEdge is a pure read.
+func (g *Graph) HasEdge(from, to VertexID) bool {
+	return false
+}
+
+// NumEdges is a pure read.
+func (g *Graph) NumEdges() int { return g.n }

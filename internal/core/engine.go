@@ -190,6 +190,8 @@ func New(g *graph.Graph, q *query.Graph, opt Options) (*Engine, error) {
 // NotifyVertexAdded performs root-candidate bookkeeping for a vertex that
 // was just added to the (possibly shared) data graph: a vertex matching
 // L(u_s) receives its hypothetical (v*_s, v_s) edge.
+//
+//tf:eval-path
 func (e *Engine) NotifyVertexAdded(v graph.VertexID) {
 	if e.g.HasAllLabels(v, e.q.Labels(e.tree.Root)) {
 		e.buildDCG(e.tree.Root, graph.NoVertex, v)
@@ -256,6 +258,8 @@ func (e *Engine) IntermediateSizeBytes() int64 { return e.d.SizeBytes() }
 // InitialMatches reports every complete solution in the initial data graph
 // (Algorithm 2, Lines 7–11) through OnMatch and returns their number.
 // These are not counted in PositiveCount.
+//
+//tf:eval-path
 func (e *Engine) InitialMatches() int64 {
 	var n int64
 	e.clearTrigger()
@@ -290,6 +294,8 @@ func (e *Engine) InsertEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) 
 // edge insertion that a coordinator has ALREADY applied to the shared data
 // graph. Used by multi-query front ends, where one graph mutation fans out
 // to several engines; single-query callers use InsertEdge.
+//
+//tf:eval-path
 func (e *Engine) EvalInsertedEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) (int64, error) {
 	e.beginOp(graph.Edge{From: v, Label: l, To: v2}, true)
 	e.insertEdgeAndEval(v, l, v2)
@@ -327,6 +333,8 @@ func (e *Engine) DeleteEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) 
 // and the coordinator must remove it only after every engine has
 // evaluated (the operation-order requirement of Algorithm 2). The NaiveEL
 // ablation is not supported through this entry point.
+//
+//tf:eval-path
 func (e *Engine) EvalBeforeDelete(v graph.VertexID, l graph.Label, v2 graph.VertexID) (int64, error) {
 	e.beginOp(graph.Edge{From: v, Label: l, To: v2}, false)
 	e.deleteEdgeAndEval(v, l, v2)

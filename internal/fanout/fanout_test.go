@@ -1,0 +1,146 @@
+package fanout
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"turboflux/internal/graph"
+)
+
+func TestPoolRunsAllTasks(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		var n atomic.Int64
+		for batch := 0; batch < 10; batch++ {
+			tasks := make([]func(), 0, 7)
+			for i := 0; i < 7; i++ {
+				tasks = append(tasks, func() { n.Add(1) })
+			}
+			p.Run(tasks)
+		}
+		p.Close()
+		if got := n.Load(); got != 70 {
+			t.Fatalf("workers=%d: ran %d tasks, want 70", workers, got)
+		}
+	}
+}
+
+func TestPoolBarrier(t *testing.T) {
+	// Every task's effect must be visible to the caller once Run returns.
+	p := New(4)
+	defer p.Close()
+	out := make([]int, 16)
+	for round := 0; round < 50; round++ {
+		tasks := make([]func(), len(out))
+		for i := range out {
+			i := i
+			tasks[i] = func() { out[i] = round + 1 }
+		}
+		p.Run(tasks)
+		for i, v := range out {
+			if v != round+1 {
+				t.Fatalf("round %d: task %d effect not visible after barrier (got %d)", round, i, v)
+			}
+		}
+	}
+}
+
+func TestPoolDefaultSize(t *testing.T) {
+	if got, want := New(0).Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Workers() = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestPoolCloseIdempotentAndInlineAfter(t *testing.T) {
+	p := New(4)
+	ran := false
+	p.Run([]func(){func() {}, func() {}}) // start workers
+	p.Close()
+	p.Close()
+	p.Run([]func(){func() { ran = true }, func() {}})
+	if !ran {
+		t.Fatal("Run after Close did not execute tasks inline")
+	}
+}
+
+func TestPoolNeverStartedClose(t *testing.T) {
+	p := New(4)
+	p.Close() // must not panic or leak
+	var n int
+	p.Run([]func(){func() { n++ }})
+	if n != 1 {
+		t.Fatalf("inline run after Close ran %d tasks, want 1", n)
+	}
+}
+
+func TestPoolStats(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	tasks := []func(){func() {}, func() {}, func() {}}
+	p.Run(tasks)
+	p.Run(tasks)
+	s := p.Stats()
+	if s.Workers != 2 {
+		t.Fatalf("Workers = %d, want 2", s.Workers)
+	}
+	if s.Batches != 2 {
+		t.Fatalf("Batches = %d, want 2", s.Batches)
+	}
+	// One task per batch runs inline on the caller.
+	if s.Pooled != 4 {
+		t.Fatalf("Pooled = %d, want 4", s.Pooled)
+	}
+	var perWorker uint64
+	for _, c := range s.PerWorker {
+		perWorker += c
+	}
+	if perWorker != s.Pooled {
+		t.Fatalf("sum(PerWorker) = %d, want Pooled = %d", perWorker, s.Pooled)
+	}
+}
+
+func TestEmissionBufferRecordReplayReset(t *testing.T) {
+	var b EmissionBuffer
+	scratch := []graph.VertexID{1, 2, 3}
+	b.Record(true, scratch)
+	scratch[0] = 99 // engine reuses its mapping slice; the buffer must have copied
+	b.Record(false, scratch[:2])
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", b.Len())
+	}
+	type em struct {
+		pos bool
+		m   []graph.VertexID
+	}
+	var got []em
+	b.Replay(func(p bool, m []graph.VertexID) {
+		got = append(got, em{p, append([]graph.VertexID(nil), m...)})
+	})
+	if len(got) != 2 || !got[0].pos || got[1].pos {
+		t.Fatalf("replay signs wrong: %+v", got)
+	}
+	if got[0].m[0] != 1 || got[0].m[1] != 2 || got[0].m[2] != 3 {
+		t.Fatalf("first mapping not copied at record time: %v", got[0].m)
+	}
+	if len(got[1].m) != 2 || got[1].m[0] != 99 {
+		t.Fatalf("second mapping wrong: %v", got[1].m)
+	}
+
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", b.Len())
+	}
+	// Storage is recycled: recording again must not grow the backing slice.
+	b.Record(true, []graph.VertexID{7})
+	var n int
+	b.Replay(func(p bool, m []graph.VertexID) {
+		n++
+		if len(m) != 1 || m[0] != 7 {
+			t.Fatalf("recycled record wrong: %v", m)
+		}
+	})
+	if n != 1 {
+		t.Fatalf("replay after reset delivered %d emissions, want 1", n)
+	}
+}

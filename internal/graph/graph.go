@@ -2,10 +2,14 @@
 // TurboFlux and all baseline engines operate on.
 //
 // The graph stores a set of vertices, each carrying a fixed set of vertex
-// labels, and a set of directed edges (from, label, to). Edge insertion and
-// deletion are O(1) amortized plus O(deg) slice maintenance; adjacency is
-// indexed per edge label in both directions so that engines can enumerate
-// out- or in-neighbors reachable through a specific label without scanning.
+// labels, and a set of directed edges (from, label, to). Edges live only in
+// the per-vertex, per-label adjacency lists — duplicate detection, HasEdge
+// and deletion scan the from-side list for the edge's label, so insertion
+// and deletion are O(deg_l) on that list (short for the paper's workloads)
+// with no global edge index to hash into on the update hot path. Adjacency
+// is indexed per edge label in both directions so that engines can
+// enumerate out- or in-neighbors reachable through a specific label without
+// scanning.
 //
 // Vertex labels are fixed once the vertex is created: this matches the RDF
 // datasets used by the paper (LSBench, Netflow), where the type of an entity
@@ -60,8 +64,7 @@ type vertexData struct {
 // Graph is not safe for concurrent mutation; the paper's system (and every
 // baseline) is single-threaded per stream, and so are we.
 type Graph struct {
-	verts     []*vertexData // indexed by VertexID; nil slot = vertex absent
-	edges     map[Edge]struct{}
+	verts     []*vertexData        // indexed by VertexID; nil slot = vertex absent
 	byLabel   map[Label][]VertexID // vertex label -> vertices carrying it (append-only)
 	edgeCount map[Label]int        // edge label -> live edge count
 	numVerts  int
@@ -71,7 +74,6 @@ type Graph struct {
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		edges:     make(map[Edge]struct{}),
 		byLabel:   make(map[Label][]VertexID),
 		edgeCount: make(map[Label]int),
 	}
@@ -218,13 +220,11 @@ func (g *Graph) CountVerticesWithLabels(required []Label) int {
 // unlabeled vertices. It reports whether the edge was newly inserted
 // (false for duplicates, which leave the graph unchanged).
 func (g *Graph) InsertEdge(from VertexID, l Label, to VertexID) bool {
-	e := Edge{From: from, Label: l, To: to}
-	if _, dup := g.edges[e]; dup {
+	if g.HasEdge(from, l, to) {
 		return false
 	}
 	g.EnsureVertex(from)
 	g.EnsureVertex(to)
-	g.edges[e] = struct{}{}
 	fd, td := g.verts[from], g.verts[to]
 	fd.out[l] = append(fd.out[l], to)
 	fd.outDeg++
@@ -238,11 +238,9 @@ func (g *Graph) InsertEdge(from VertexID, l Label, to VertexID) bool {
 // DeleteEdge removes edge (from, l, to). It reports whether the edge
 // existed.
 func (g *Graph) DeleteEdge(from VertexID, l Label, to VertexID) bool {
-	e := Edge{From: from, Label: l, To: to}
-	if _, ok := g.edges[e]; !ok {
+	if !g.HasEdge(from, l, to) {
 		return false
 	}
-	delete(g.edges, e)
 	fd, td := g.verts[from], g.verts[to]
 	fd.out[l] = removeFirst(fd.out[l], to)
 	fd.outDeg--
@@ -265,8 +263,15 @@ func removeFirst(s []VertexID, v VertexID) []VertexID {
 
 // HasEdge reports whether edge (from, l, to) exists.
 func (g *Graph) HasEdge(from VertexID, l Label, to VertexID) bool {
-	_, ok := g.edges[Edge{From: from, Label: l, To: to}]
-	return ok
+	if !g.HasVertex(from) {
+		return false
+	}
+	for _, x := range g.verts[from].out[l] {
+		if x == to {
+			return true
+		}
+	}
+	return false
 }
 
 // OutNeighbors returns the targets of edges from v with label l. The slice
@@ -339,17 +344,22 @@ func (g *Graph) ForEachInLabel(v VertexID, fn func(l Label, nbrs []VertexID)) {
 // ForEachEdge calls fn for every live edge. Iteration order is unspecified.
 // fn must not mutate the graph.
 func (g *Graph) ForEachEdge(fn func(Edge)) {
-	for e := range g.edges {
-		fn(e)
+	for id, vd := range g.verts {
+		if vd == nil {
+			continue
+		}
+		for l, nbrs := range vd.out {
+			for _, to := range nbrs {
+				fn(Edge{From: VertexID(id), Label: l, To: to})
+			}
+		}
 	}
 }
 
 // Edges returns all live edges in an unspecified order.
 func (g *Graph) Edges() []Edge {
 	es := make([]Edge, 0, g.numEdges)
-	for e := range g.edges {
-		es = append(es, e)
-	}
+	g.ForEachEdge(func(e Edge) { es = append(es, e) })
 	return es
 }
 
@@ -388,9 +398,6 @@ func (g *Graph) Clone() *Graph {
 	}
 	c.numVerts = g.numVerts
 	c.numEdges = g.numEdges
-	for e := range g.edges {
-		c.edges[e] = struct{}{}
-	}
 	for l, vs := range g.byLabel {
 		c.byLabel[l] = append([]VertexID(nil), vs...)
 	}

@@ -22,6 +22,8 @@ type engineHost interface {
 	Queries() []string
 	Apply(u turboflux.Update) (map[string]int64, error)
 	Stats() map[string]turboflux.Stats
+	FanOutStats() turboflux.FanOutStats
+	Close() error
 }
 
 type reqKind uint8
@@ -131,7 +133,8 @@ func (a *actor) run() {
 
 // shutdown drains the requests already queued (connections are gone by
 // now, so no new ones arrive), flushes every subscriber queue by closing
-// the subscriptions, closes the durable store, and signals done.
+// the subscriptions, closes the engine host (fan-out pool and, in
+// durable mode, the store), and signals done.
 func (a *actor) shutdown() {
 	for {
 		select {
@@ -148,9 +151,9 @@ func (a *actor) shutdown() {
 			s.close()
 		}
 	}
-	if a.durable != nil {
-		a.closeErr = a.durable.Close()
-	}
+	// Close releases the fan-out worker pool and, in durable mode, syncs
+	// and closes the WAL.
+	a.closeErr = a.host.Close()
 	close(a.done)
 }
 
@@ -350,6 +353,10 @@ func (a *actor) statsLines() []string {
 	qs := a.lat.Quantiles(50, 95, 99)
 	lines = append(lines, fmt.Sprintf("apply_latency n=%d p50_ns=%d p95_ns=%d p99_ns=%d",
 		a.lat.Count(), qs[0].Nanoseconds(), qs[1].Nanoseconds(), qs[2].Nanoseconds()))
+	fs := a.host.FanOutStats()
+	lines = append(lines, fmt.Sprintf(
+		"fanout workers=%d evals=%d skipped=%d pooled=%d batches=%d busy_ns=%d",
+		fs.Workers, fs.Evals, fs.Skipped, fs.Pooled, fs.Batches, fs.BusyNs))
 	if a.durable != nil {
 		lines = append(lines, fmt.Sprintf("wal lsn=%d", a.durable.LSN()))
 	}

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -36,11 +38,24 @@ func mappingKey(m []turboflux.VertexID) string {
 }
 
 // TestServerE2EDeterminism drives one server with 4 concurrent writer
-// clients, each also subscribed to 2 queries, then checks the determinism
-// contract: every subscriber's per-query event stream equals the
-// transcript a single-threaded MultiEngine emits when replaying the same
-// total update order (reconstructed from the acked sequence numbers).
+// clients, each also subscribed to every query, then checks the
+// determinism contract: every subscriber's per-query event stream equals
+// the transcript a single-threaded MultiEngine emits when replaying the
+// same total update order (reconstructed from the acked sequence
+// numbers). The workers=4 variant runs the same check against the
+// parallel fan-out actor — two of its queries share the "knows" label so
+// the worker pool actually executes barriers — and then asserts the
+// STATS worker-utilization counters are populated.
 func TestServerE2EDeterminism(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		workers := workers
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			runServerE2EDeterminism(t, workers)
+		})
+	}
+}
+
+func runServerE2EDeterminism(t *testing.T, workers int) {
 	const (
 		nClients   = 4
 		perClient  = 50
@@ -50,8 +65,9 @@ func TestServerE2EDeterminism(t *testing.T) {
 		labelLikes = turboflux.Label(1) // "likes"
 	)
 	queries := map[string]string{
-		"knows2": "(a:P)-[:knows]->(b:P)",
-		"likes2": "(a:P)-[:likes]->(b:P)",
+		"knows2":    "(a:P)-[:knows]->(b:P)",
+		"likes2":    "(a:P)-[:likes]->(b:P)",
+		"knows2rev": "(b:P)-[:knows]->(a:P)",
 	}
 
 	vdict := turboflux.NewDict()
@@ -65,11 +81,12 @@ func TestServerE2EDeterminism(t *testing.T) {
 	}
 
 	_, addr := startServer(t, Options{
-		Slow:         PolicyBlock, // lossless: every subscriber must see the full transcript
-		QueueDepth:   64,
-		VertexLabels: vdict,
-		EdgeLabels:   edict,
-		Bootstrap:    boot,
+		Slow:          PolicyBlock, // lossless: every subscriber must see the full transcript
+		QueueDepth:    64,
+		VertexLabels:  vdict,
+		EdgeLabels:    edict,
+		Bootstrap:     boot,
+		FanOutWorkers: workers,
 	})
 
 	admin := dialTest(t, addr)
@@ -154,6 +171,7 @@ func TestServerE2EDeterminism(t *testing.T) {
 		u.Apply(g)
 	}
 	replay := turboflux.NewMultiEngine(g)
+	replay.SetFanOutWorkers(1) // the reference is the sequential path
 	expected := map[string][]transcriptEntry{}
 	var replaySeq uint64
 	for name, pattern := range queries {
@@ -231,6 +249,49 @@ func TestServerE2EDeterminism(t *testing.T) {
 						i, name, k, gotEntries[k], wantEntries[k])
 				}
 			}
+		}
+	}
+
+	// STATS must surface the fan-out worker-utilization counters.
+	lines, err := admin.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fanout := ""
+	for _, l := range lines {
+		if strings.HasPrefix(l, "fanout ") {
+			fanout = l
+		}
+	}
+	if fanout == "" {
+		t.Fatalf("STATS has no fanout line: %q", lines)
+	}
+	kv := map[string]uint64{}
+	for _, f := range strings.Fields(fanout)[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			t.Fatalf("malformed fanout field %q in %q", f, fanout)
+		}
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			t.Fatalf("fanout field %q: %v", f, err)
+		}
+		kv[k] = n
+	}
+	if got := kv["workers"]; got != uint64(workers) {
+		t.Fatalf("fanout workers = %d, want %d", got, workers)
+	}
+	if kv["evals"] == 0 {
+		t.Fatalf("fanout evals = 0: %q", fanout)
+	}
+	if workers > 1 {
+		// knows2 and knows2rev share a label, so "knows" updates pool two
+		// engines; likes2 is skipped on those updates.
+		if kv["batches"] == 0 || kv["pooled"] == 0 {
+			t.Fatalf("parallel actor never pooled work: %q", fanout)
+		}
+		if kv["skipped"] == 0 {
+			t.Fatalf("label routing never skipped an engine: %q", fanout)
 		}
 	}
 }

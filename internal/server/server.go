@@ -49,6 +49,12 @@ type Options struct {
 	// Bootstrap is an optional initial-graph history applied (and, in
 	// durable mode, journaled) when the store is fresh.
 	Bootstrap []turboflux.Update
+
+	// FanOutWorkers sizes the engine's multi-query fan-out worker pool
+	// (default GOMAXPROCS; 1 forces the sequential evaluation path). The
+	// actor still serializes updates — the pool parallelizes the
+	// per-update evaluation across registered queries.
+	FanOutWorkers int
 }
 
 // Server is the TurboFlux network server: one engine-owner goroutine (the
@@ -90,10 +96,11 @@ func New(opt Options) (*Server, error) {
 	)
 	if opt.DataDir != "" {
 		d, err := turboflux.OpenDurableMulti(opt.DataDir, turboflux.DurableMultiOptions{
-			Fsync:        opt.Fsync,
-			VertexLabels: opt.VertexLabels,
-			EdgeLabels:   opt.EdgeLabels,
-			Bootstrap:    opt.Bootstrap,
+			Fsync:         opt.Fsync,
+			VertexLabels:  opt.VertexLabels,
+			EdgeLabels:    opt.EdgeLabels,
+			Bootstrap:     opt.Bootstrap,
+			FanOutWorkers: opt.FanOutWorkers,
 		})
 		if err != nil {
 			return nil, err
@@ -113,7 +120,9 @@ func New(opt Options) (*Server, error) {
 		for _, u := range opt.Bootstrap {
 			u.Apply(g)
 		}
-		host = turboflux.NewMultiEngine(g)
+		m := turboflux.NewMultiEngine(g)
+		m.SetFanOutWorkers(opt.FanOutWorkers)
+		host = m
 	}
 	s := &Server{
 		opt:      opt,

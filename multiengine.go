@@ -1,12 +1,37 @@
 package turboflux
 
 import (
+	"errors"
 	"fmt"
-	"sort"
+	"runtime"
 
 	"turboflux/internal/core"
+	"turboflux/internal/fanout"
+	"turboflux/internal/graph"
 	"turboflux/internal/stream"
 )
+
+// FanOutStats is a snapshot of the multi-query fan-out counters: how many
+// per-engine evaluations ran, how many were elided by label-relevance
+// routing, and how the worker pool was utilized. See fanout.Stats for the
+// field meanings.
+type FanOutStats = fanout.Stats
+
+// mslot is one registered query's fan-out state. count/err are the
+// result cells of the parallel window: each is written by exactly one
+// pool worker (the one evaluating this engine) and read by the
+// coordinator after the barrier.
+type mslot struct {
+	name      string
+	eng       *core.Engine
+	user      core.MatchFunc           // caller's OnMatch, nil if none
+	labels    map[graph.Label]struct{} // edge labels the query mentions
+	task      func()                   // persistent pool task: eval this slot
+	buf       fanout.EmissionBuffer
+	buffering bool // true inside the parallel window; routes OnMatch to buf
+	count     int64
+	err       error
+}
 
 // MultiEngine runs several continuous queries over one shared data graph,
 // the deployment shape of the paper's motivating applications (a fraud
@@ -14,57 +39,184 @@ import (
 // registered query maintains its own DCG; the data graph is mutated once
 // per update and every engine evaluates against it.
 //
+// Fan-out is parallel by default: a persistent worker pool (size
+// SetFanOutWorkers, default GOMAXPROCS; 1 selects the sequential path)
+// evaluates the engines relevant to each update concurrently against the
+// frozen post-mutation graph, with OnMatch emissions buffered per engine
+// and replayed in registration order after the barrier — so observable
+// behavior (transcripts, counts, errors) is identical to sequential
+// evaluation. Engines whose queries cannot mention the updated edge's
+// label are skipped entirely (their evaluation is a structural no-op).
+//
 // MultiEngine is not safe for concurrent use, matching Engine.
 type MultiEngine struct {
-	g       *Graph
-	engines map[string]*core.Engine
-	order   []string // registration order, for deterministic fan-out
+	g     *Graph
+	slots map[string]*mslot
+	order []*mslot // registration order, for deterministic fan-out
+	pool  *fanout.Pool
+
+	// byLabel indexes the slots whose queries mention each edge label, in
+	// registration order — the routing decision for an update is then one
+	// slice index instead of a scan over every registered query. Labels are
+	// dense small ints, so a slice beats a map on the hot path. Rebuilt on
+	// Register/Unregister.
+	byLabel [][]*mslot
+
+	evals   uint64 // engine evaluations run
+	skipped uint64 // evaluations elided by label-relevance routing
+
+	// Reused scratch for the parallel window (no per-update allocation).
+	tasks []func()
+	errs  []error
+
+	// The pending update's edge plus two persistent eval thunks over it;
+	// curEval points at insEval or delEval for the current update, so the
+	// hot path never allocates a closure.
+	pending Edge
+	insEval func(*core.Engine) (int64, error)
+	delEval func(*core.Engine) (int64, error)
+	curEval func(*core.Engine) (int64, error)
 }
 
 // NewMultiEngine wraps the initial data graph g0. The MultiEngine takes
 // ownership of g0: route every mutation through it.
 func NewMultiEngine(g0 *Graph) *MultiEngine {
-	return &MultiEngine{g: g0, engines: make(map[string]*core.Engine)}
+	m := &MultiEngine{
+		g:     g0,
+		slots: make(map[string]*mslot),
+		pool:  fanout.New(0),
+	}
+	m.insEval = func(e *core.Engine) (int64, error) {
+		return e.EvalInsertedEdge(m.pending.From, m.pending.Label, m.pending.To)
+	}
+	m.delEval = func(e *core.Engine) (int64, error) {
+		return e.EvalBeforeDelete(m.pending.From, m.pending.Label, m.pending.To)
+	}
+	return m
+}
+
+// SetFanOutWorkers resizes the fan-out worker pool; n <= 0 means
+// GOMAXPROCS and 1 selects the sequential path (today's behavior,
+// evaluating every engine inline with direct OnMatch delivery). Safe to
+// call between updates, not during one.
+func (m *MultiEngine) SetFanOutWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if m.pool.Workers() == n {
+		return
+	}
+	m.pool.Close()
+	m.pool = fanout.New(n)
+}
+
+// FanOutWorkers returns the configured fan-out pool size.
+func (m *MultiEngine) FanOutWorkers() int { return m.pool.Workers() }
+
+// FanOutStats snapshots the fan-out counters.
+func (m *MultiEngine) FanOutStats() FanOutStats {
+	st := m.pool.Stats()
+	st.Evals = m.evals
+	st.Skipped = m.skipped
+	return st
+}
+
+// Close releases the fan-out worker pool. The engine itself stays
+// usable — subsequent updates evaluate inline — so Close is only about
+// reclaiming the pool goroutines. It always returns nil.
+func (m *MultiEngine) Close() error {
+	m.pool.Close()
+	return nil
 }
 
 // Register adds a continuous query under the given name, building its DCG
 // over the current graph state. Registering a duplicate name fails.
 func (m *MultiEngine) Register(name string, q *Query, opt Options) error {
-	if _, dup := m.engines[name]; dup {
+	if _, dup := m.slots[name]; dup {
 		return fmt.Errorf("turboflux: query %q already registered", name)
 	}
+	s := &mslot{name: name, user: opt.OnMatch, labels: queryEdgeLabels(q)}
 	copt := core.DefaultOptions()
 	copt.Semantics = opt.Semantics
 	copt.Search = opt.Search
-	copt.OnMatch = opt.OnMatch
 	copt.WorkBudget = opt.WorkBudget
+	if s.user != nil {
+		// Inside the parallel window emissions go to the slot's buffer
+		// (written only by the worker evaluating this engine); otherwise
+		// straight through, preserving the sequential path exactly.
+		copt.OnMatch = func(positive bool, mapping []graph.VertexID) {
+			if s.buffering {
+				s.buf.Record(positive, mapping)
+			} else {
+				s.user(positive, mapping)
+			}
+		}
+	}
 	eng, err := core.New(m.g, q, copt)
 	if err != nil {
 		return err
 	}
-	m.engines[name] = eng
-	m.order = append(m.order, name)
+	s.eng = eng
+	s.task = func() { s.count, s.err = m.curEval(s.eng) }
+	m.slots[name] = s
+	m.order = append(m.order, s)
+	m.rebuildLabelIndex()
 	return nil
+}
+
+// rebuildLabelIndex recomputes byLabel from the registration order.
+func (m *MultiEngine) rebuildLabelIndex() {
+	maxL := graph.Label(0)
+	for _, s := range m.order {
+		for l := range s.labels { //tf:unordered-ok max over the set is order-independent
+			if l > maxL {
+				maxL = l
+			}
+		}
+	}
+	m.byLabel = make([][]*mslot, int(maxL)+1)
+	for _, s := range m.order {
+		for l := range s.labels { //tf:unordered-ok each label's slot list is ordered by the outer registration-order loop
+			m.byLabel[l] = append(m.byLabel[l], s)
+		}
+	}
+}
+
+// queryEdgeLabels collects the set of edge labels a query mentions; an
+// update whose label is outside this set cannot extend or retract any of
+// the query's matches.
+func queryEdgeLabels(q *Query) map[graph.Label]struct{} {
+	out := make(map[graph.Label]struct{}, q.NumEdges())
+	for _, e := range q.Edges() {
+		out[e.Label] = struct{}{}
+	}
+	return out
 }
 
 // Unregister removes a query and reports whether it was registered.
 func (m *MultiEngine) Unregister(name string) bool {
-	if _, ok := m.engines[name]; !ok {
+	s, ok := m.slots[name]
+	if !ok {
 		return false
 	}
-	delete(m.engines, name)
-	for i, n := range m.order {
-		if n == name {
+	delete(m.slots, name)
+	for i, t := range m.order {
+		if t == s {
 			m.order = append(m.order[:i], m.order[i+1:]...)
 			break
 		}
 	}
+	m.rebuildLabelIndex()
 	return true
 }
 
 // Queries returns the registered query names in registration order.
 func (m *MultiEngine) Queries() []string {
-	return append([]string(nil), m.order...)
+	out := make([]string, len(m.order))
+	for i, s := range m.order {
+		out[i] = s.name
+	}
+	return out
 }
 
 // InitialMatches reports each registered query's matches over the current
@@ -72,9 +224,9 @@ func (m *MultiEngine) Queries() []string {
 // order so the interleaving of OnMatch deliveries across queries is
 // deterministic, matching the fan-out order of Insert/Delete.
 func (m *MultiEngine) InitialMatches() map[string]int64 {
-	out := make(map[string]int64, len(m.engines))
-	for _, name := range m.order {
-		out[name] = m.engines[name].InitialMatches()
+	out := make(map[string]int64, len(m.order))
+	for _, s := range m.order {
+		out[s.name] = s.eng.InitialMatches()
 	}
 	return out
 }
@@ -82,24 +234,41 @@ func (m *MultiEngine) InitialMatches() map[string]int64 {
 // Insert applies one edge insertion to the shared graph and evaluates
 // every registered query. It returns per-query positive-match counts
 // (only non-zero entries). Duplicate insertions are no-ops.
+//
+// If any engine fails (e.g. exhausts its work budget), the remaining
+// engines are still evaluated and the errors are aggregated; see fanOut.
 func (m *MultiEngine) Insert(from VertexID, l Label, to VertexID) (map[string]int64, error) {
+	newFrom := !m.g.HasVertex(from)
+	newTo := to != from && !m.g.HasVertex(to)
 	if !m.g.InsertEdge(from, l, to) {
 		return nil, nil
 	}
-	return m.fanOut(func(e *core.Engine) (int64, error) {
-		return e.EvalInsertedEdge(from, l, to)
-	})
+	var created [2]VertexID
+	nc := 0
+	if newFrom {
+		created[nc] = from
+		nc++
+	}
+	if newTo {
+		created[nc] = to
+		nc++
+	}
+	m.pending = Edge{From: from, Label: l, To: to}
+	m.curEval = m.insEval
+	return m.fanOut(l, created[:nc])
 }
 
 // Delete applies one edge deletion: every engine reports its negative
-// matches first, then the edge is removed from the shared graph.
+// matches first, then the edge is removed from the shared graph. As for
+// Insert, an engine failure does not stop the fan-out, and the edge is
+// removed regardless so the graph never diverges from the stream.
 func (m *MultiEngine) Delete(from VertexID, l Label, to VertexID) (map[string]int64, error) {
 	if !m.g.HasEdge(from, l, to) {
 		return nil, nil
 	}
-	counts, err := m.fanOut(func(e *core.Engine) (int64, error) {
-		return e.EvalBeforeDelete(from, l, to)
-	})
+	m.pending = Edge{From: from, Label: l, To: to}
+	m.curEval = m.delEval
+	counts, err := m.fanOut(l, nil)
 	m.g.DeleteEdge(from, l, to)
 	return counts, err
 }
@@ -114,8 +283,8 @@ func (m *MultiEngine) Apply(u Update) (map[string]int64, error) {
 	case stream.OpVertex:
 		if !m.g.HasVertex(u.Vertex) {
 			m.g.EnsureVertex(u.Vertex, u.Labels...)
-			for _, name := range m.order {
-				m.engines[name].NotifyVertexAdded(u.Vertex)
+			for _, s := range m.order {
+				s.eng.NotifyVertexAdded(u.Vertex)
 			}
 		}
 		return nil, nil
@@ -124,21 +293,123 @@ func (m *MultiEngine) Apply(u Update) (map[string]int64, error) {
 	}
 }
 
-func (m *MultiEngine) fanOut(eval func(*core.Engine) (int64, error)) (map[string]int64, error) {
+// fanOut evaluates the already-applied (insert) or not-yet-removed
+// (delete) edge update against the registered engines using m.curEval.
+//
+// Failure semantics (both modes): every engine is evaluated even when an
+// earlier one fails, partial counts are returned, and the per-query
+// errors are aggregated with errors.Join (each wrapped as `query "name"`,
+// so errors.Is still detects ErrWorkBudget). A budget-aborted engine has
+// rolled back its own DCG transition for this update — its standing
+// matches for this edge may be stale until a later update touches the
+// same region — but every other engine and the graph itself stay exactly
+// in sync with the stream.
+//
+// With workers > 1 the relevant engines (label routing: the update's
+// label occurs in the query) evaluate concurrently against the frozen
+// graph; created lists vertices this update added, which skipped engines
+// are notified of so their root-candidate bookkeeping stays complete.
+func (m *MultiEngine) fanOut(l Label, created []VertexID) (map[string]int64, error) {
+	if m.pool.Workers() <= 1 {
+		return m.fanOutSeq()
+	}
+	return m.fanOutParallel(l, created)
+}
+
+// fanOutSeq is the sequential path: every engine, registration order,
+// direct OnMatch delivery.
+func (m *MultiEngine) fanOutSeq() (map[string]int64, error) {
 	var counts map[string]int64
-	for _, name := range m.order {
-		n, err := eval(m.engines[name])
+	errs := m.errs[:0]
+	for _, s := range m.order {
+		m.evals++
+		n, err := m.curEval(s.eng)
 		if err != nil {
-			return counts, fmt.Errorf("query %q: %w", name, err)
+			errs = append(errs, fmt.Errorf("query %q: %w", s.name, err))
 		}
 		if n != 0 {
 			if counts == nil {
 				counts = make(map[string]int64)
 			}
-			counts[name] = n
+			counts[s.name] = n
 		}
 	}
-	return counts, nil
+	m.errs = errs[:0]
+	return counts, errors.Join(errs...)
+}
+
+// fanOutParallel routes the update to the engines whose queries mention
+// label l and runs them on the pool, then replays each engine's buffered
+// emissions in registration order. Single-relevant-engine updates run
+// inline (no barrier, no buffering) — the common case for disjoint
+// workloads.
+func (m *MultiEngine) fanOutParallel(l Label, created []VertexID) (map[string]int64, error) {
+	var rel []*mslot
+	if int(l) < len(m.byLabel) {
+		rel = m.byLabel[l]
+	}
+	m.skipped += uint64(len(m.order) - len(rel))
+	if len(created) > 0 {
+		// The skipped evaluation's only structural effect would have been
+		// root-candidate bookkeeping for vertices this insert created.
+		// Inserts that create vertices are rare at steady state, so the
+		// full scan stays off the common path.
+		for _, s := range m.order {
+			if _, ok := s.labels[l]; ok {
+				continue
+			}
+			for _, v := range created {
+				s.eng.NotifyVertexAdded(v)
+			}
+		}
+	}
+	m.evals += uint64(len(rel))
+
+	switch len(rel) {
+	case 0:
+		return nil, nil
+	case 1:
+		s := rel[0]
+		n, err := m.curEval(s.eng)
+		if err != nil {
+			err = fmt.Errorf("query %q: %w", s.name, err)
+		}
+		var counts map[string]int64
+		if n != 0 {
+			counts = map[string]int64{s.name: n}
+		}
+		return counts, err
+	}
+
+	tasks := m.tasks[:0]
+	for _, s := range rel {
+		s.buffering = true
+		s.count, s.err = 0, nil
+		tasks = append(tasks, s.task)
+	}
+	m.tasks = tasks[:0]
+	m.pool.Run(tasks)
+
+	var counts map[string]int64
+	errs := m.errs[:0]
+	for _, s := range rel {
+		s.buffering = false
+		if s.user != nil {
+			s.buf.Replay(s.user)
+		}
+		s.buf.Reset()
+		if s.err != nil {
+			errs = append(errs, fmt.Errorf("query %q: %w", s.name, s.err))
+		}
+		if s.count != 0 {
+			if counts == nil {
+				counts = make(map[string]int64)
+			}
+			counts[s.name] = s.count
+		}
+	}
+	m.errs = errs[:0]
+	return counts, errors.Join(errs...)
 }
 
 // Graph returns the shared data graph. Treat it as read-only.
@@ -146,14 +417,13 @@ func (m *MultiEngine) Graph() *Graph { return m.g }
 
 // Stats returns a per-query snapshot of engine counters, keyed by name.
 func (m *MultiEngine) Stats() map[string]Stats {
-	out := make(map[string]Stats, len(m.engines))
-	//tf:unordered-ok reads counters into a map; no matches are emitted
-	for name, e := range m.engines {
-		out[name] = Stats{
-			PositiveMatches:   e.PositiveCount(),
-			NegativeMatches:   e.NegativeCount(),
-			DCGEdges:          e.DCG().NumEdges(),
-			IntermediateBytes: e.IntermediateSizeBytes(),
+	out := make(map[string]Stats, len(m.order))
+	for _, s := range m.order {
+		out[s.name] = Stats{
+			PositiveMatches:   s.eng.PositiveCount(),
+			NegativeMatches:   s.eng.NegativeCount(),
+			DCGEdges:          s.eng.DCG().NumEdges(),
+			IntermediateBytes: s.eng.IntermediateSizeBytes(),
 		}
 	}
 	return out
@@ -162,13 +432,8 @@ func (m *MultiEngine) Stats() map[string]Stats {
 // TotalIntermediateBytes sums the DCG sizes of all registered queries.
 func (m *MultiEngine) TotalIntermediateBytes() int64 {
 	var t int64
-	names := make([]string, 0, len(m.engines))
-	for n := range m.engines {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		t += m.engines[n].IntermediateSizeBytes()
+	for _, s := range m.order {
+		t += s.eng.IntermediateSizeBytes()
 	}
 	return t
 }
