@@ -31,6 +31,9 @@ func main() {
 	serveUpdates := flag.Int("serve-updates", 5000, "updates per client for -exp serve")
 	fanoutOut := flag.String("fanout-out", "BENCH_fanout.json", "report path for -exp fanout")
 	fanoutUpdates := flag.Int("fanout-updates", 100000, "updates per grid cell for -exp fanout")
+	batchOut := flag.String("batch-out", "BENCH_batch.json", "report path for -exp batch")
+	batchUpdates := flag.Int("batch-updates", 50000, "updates per grid cell for -exp batch")
+	batchRecords := flag.Int("batch-records", 200000, "WAL record count for the -exp batch recovery row")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this path")
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "LSBench scale factor (#users)")
 	flag.IntVar(&cfg.Hosts, "hosts", cfg.Hosts, "Netflow host count")
@@ -65,6 +68,7 @@ func main() {
 		fmt.Println("durability")
 		fmt.Println("serve")
 		fmt.Println("fanout")
+		fmt.Println("batch")
 		return
 	}
 	if *exp == "" {
@@ -96,6 +100,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stdout, "\n[fanout completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *exp == "batch" {
+		start := time.Now()
+		if err := runBatch(*batchOut, *batchUpdates, *batchRecords); err != nil {
+			fmt.Fprintln(os.Stderr, "turboflux-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "\n[batch completed in %s]\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	start := time.Now()

@@ -67,6 +67,7 @@ func TestAnnotationSuppression(t *testing.T) {
 	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
 		t.Fatal(err)
 	}
+	entryPoint := false
 	for _, f := range rep.Findings {
 		if f.Line == 49 {
 			t.Errorf("//tf:alloc-ok site was still reported: %+v", f)
@@ -74,9 +75,15 @@ func TestAnnotationSuppression(t *testing.T) {
 		if f.Line == 54 {
 			t.Errorf("unannotated (cold) function was reported: %+v", f)
 		}
+		if strings.Contains(f.Message, "ApplyBatch") {
+			entryPoint = true
+		}
 	}
-	if len(rep.Findings) != 3 {
-		t.Errorf("hotpath fixture reported %d findings, want 3: %+v", len(rep.Findings), rep.Findings)
+	if !entryPoint {
+		t.Error("implicit ApplyBatch entry point produced no finding")
+	}
+	if len(rep.Findings) != 4 {
+		t.Errorf("hotpath fixture reported %d findings, want 4: %+v", len(rep.Findings), rep.Findings)
 	}
 }
 

@@ -62,7 +62,7 @@ func main() {
 // *turboflux.Engine and *turboflux.DurableEngine both provide it.
 type streamEngine interface {
 	InitialMatches() int64
-	ApplyAll([]turboflux.Update) (int64, error)
+	ApplyBatch([]turboflux.Update) (int64, error)
 	Explain() string
 	Stats() turboflux.Stats
 }
@@ -157,10 +157,11 @@ func run(graphPath, queryPath, pattern, streamPath, dataDir, fsync string, iso, 
 	return nil
 }
 
-// applyInterruptible replays ups in chunks, stopping cleanly at a chunk
-// boundary once interrupted is set so the deferred Compact+Close still
-// runs and a durable store's write-ahead log is closed without a torn
-// tail.
+// applyInterruptible replays ups in batched chunks (each journaled as one
+// log write and evaluated through the batch pipeline), stopping cleanly
+// at a chunk boundary once interrupted is set so the deferred
+// Compact+Close still runs and a durable store's write-ahead log is
+// closed without a torn tail.
 func applyInterruptible(eng streamEngine, ups []turboflux.Update, interrupted *atomic.Bool) (int, error) {
 	applied := 0
 	for _, chunk := range stream.Batches(ups, 1024) {
@@ -168,7 +169,7 @@ func applyInterruptible(eng streamEngine, ups []turboflux.Update, interrupted *a
 			fmt.Fprintf(os.Stderr, "turboflux: interrupted after %d/%d updates\n", applied, len(ups))
 			break
 		}
-		if _, err := eng.ApplyAll(chunk); err != nil {
+		if _, err := eng.ApplyBatch(chunk); err != nil {
 			return applied, err
 		}
 		applied += len(chunk)

@@ -21,6 +21,9 @@ type DurableOptions struct {
 	// SegmentSize rotates the log once the active segment reaches this
 	// many bytes (default 4 MiB).
 	SegmentSize int64
+	// ReplayBatch sets how many WAL-tail records recovery applies per
+	// batched pass (default 1024; 1 selects the record-at-a-time path).
+	ReplayBatch int
 
 	// VertexLabels / EdgeLabels, when non-nil, become the engine's label
 	// dictionaries. On a fresh store they are adopted as-is; on recovery
@@ -78,6 +81,7 @@ func OpenDurable(dir string, q *Query, opt DurableOptions) (*DurableEngine, erro
 		Fsync:        pol,
 		FsyncEvery:   opt.FsyncInterval,
 		SegmentSize:  opt.SegmentSize,
+		ReplayBatch:  opt.ReplayBatch,
 		VertexLabels: opt.VertexLabels,
 		EdgeLabels:   opt.EdgeLabels,
 	})
@@ -190,6 +194,17 @@ func (d *DurableEngine) ApplyAll(ups []Update) (int64, error) {
 		total += n
 	}
 	return total, nil
+}
+
+// ApplyBatch journals the whole batch as one log write, then applies and
+// evaluates every update, aggregating per-update errors like
+// Engine.ApplyBatch. A journaling failure aborts before any update is
+// applied, preserving write-ahead order for the batch as a whole.
+func (d *DurableEngine) ApplyBatch(ups []Update) (int64, error) {
+	if _, _, err := d.store.AppendBatch(ups); err != nil {
+		return 0, err
+	}
+	return d.eng.ApplyBatch(ups)
 }
 
 // Compact writes a fresh snapshot covering the whole journaled history

@@ -18,6 +18,9 @@ type DurableMultiOptions struct {
 	// SegmentSize rotates the log once the active segment reaches this
 	// many bytes (default 4 MiB).
 	SegmentSize int64
+	// ReplayBatch sets how many WAL-tail records recovery applies per
+	// batched pass (default 1024; 1 selects the record-at-a-time path).
+	ReplayBatch int
 
 	// VertexLabels / EdgeLabels, when non-nil, become the store's label
 	// dictionaries, with recovered names merged in exactly as for
@@ -64,6 +67,7 @@ func OpenDurableMulti(dir string, opt DurableMultiOptions) (*DurableMultiEngine,
 		Fsync:        pol,
 		FsyncEvery:   opt.FsyncInterval,
 		SegmentSize:  opt.SegmentSize,
+		ReplayBatch:  opt.ReplayBatch,
 		VertexLabels: opt.VertexLabels,
 		EdgeLabels:   opt.EdgeLabels,
 	})
@@ -152,6 +156,22 @@ func (d *DurableMultiEngine) Apply(u Update) (map[string]int64, error) {
 		return nil, err
 	}
 	return d.m.Apply(u)
+}
+
+// ApplyBatch journals the whole batch as one log write, then evaluates it
+// through the batched fan-out pipeline (MultiEngine.ApplyBatch). A
+// journaling failure aborts before any update is applied.
+func (d *DurableMultiEngine) ApplyBatch(ups []Update) (map[string]int64, error) {
+	return d.ApplyBatchFunc(ups, nil)
+}
+
+// ApplyBatchFunc is ApplyBatch with MultiEngine.ApplyBatchFunc's
+// per-update boundary hook.
+func (d *DurableMultiEngine) ApplyBatchFunc(ups []Update, boundary func(i int)) (map[string]int64, error) {
+	if _, _, err := d.store.AppendBatch(ups); err != nil {
+		return nil, err
+	}
+	return d.m.ApplyBatchFunc(ups, boundary)
 }
 
 // Compact writes a fresh snapshot covering the whole journaled history and

@@ -25,12 +25,26 @@ var HotpathAlloc = &analysis.Analyzer{
 	Run:  runHotpathAlloc,
 }
 
+// hotpathEntryPoints are function names checked even without a
+// //tf:hotpath annotation: the batch evaluation entry points and the
+// recovery replay path are hot by construction (one call covers a whole
+// batch of updates), and new implementations of these names must not
+// silently opt out of the allocation discipline.
+var hotpathEntryPoints = map[string]bool{
+	"ApplyBatch":     true,
+	"ApplyBatchFunc": true,
+	"replayBatch":    true,
+}
+
 func runHotpathAlloc(pass *analysis.Pass) error {
 	for _, file := range pass.Pkg.Files {
 		ann := pass.Annotations(file)
 		for _, decl := range file.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil || !ann.FuncAnnotated(fn, "hotpath") {
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !ann.FuncAnnotated(fn, "hotpath") && !hotpathEntryPoints[fn.Name.Name] {
 				continue
 			}
 			checkHotFunc(pass, ann, fn)

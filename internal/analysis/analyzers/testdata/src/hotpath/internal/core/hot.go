@@ -53,3 +53,19 @@ func HotSuppressed(v int) string {
 func ColdFormat(v int) string {
 	return fmt.Sprintf("v%d", v)
 }
+
+// ApplyBatch is not annotated, but its name is an implicit hot-path
+// entry point: the batch pipeline is checked even without //tf:hotpath.
+func ApplyBatch(vs []int) string {
+	return fmt.Sprintf("n=%d", len(vs))
+}
+
+// replayBatch is the other implicit entry point; allocation-free, so no
+// finding.
+func replayBatch(vs []int) int {
+	total := 0
+	for _, v := range vs {
+		total += v
+	}
+	return total
+}

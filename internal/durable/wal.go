@@ -126,6 +126,41 @@ func (w *wal) Append(u stream.Update) (uint64, error) {
 	return lsn, nil
 }
 
+// AppendBatch journals every update in ups as one frame-and-write,
+// returning the LSNs of the first and last record appended. The frame
+// buffer, the write syscall, the fsync-policy check and the rotation
+// check are paid once per batch instead of once per record. The caller
+// guarantees ups is non-empty.
+//
+//tf:hotpath
+func (w *wal) AppendBatch(ups []stream.Update) (first, last uint64, err error) {
+	buf := w.buf[:0]
+	for _, u := range ups {
+		if buf, err = appendRecord(buf, u); err != nil {
+			w.buf = buf[:0]
+			return 0, 0, err
+		}
+	}
+	w.buf = buf
+	if _, err := w.f.Write(buf); err != nil {
+		return 0, 0, err
+	}
+	w.size += int64(len(buf))
+	first = w.nextLSN
+	w.nextLSN += uint64(len(ups))
+	last = w.nextLSN - 1
+	w.dirty = true
+	if err := w.maybeSync(); err != nil {
+		return 0, 0, err
+	}
+	if w.size >= w.segSize {
+		if err := w.rotate(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return first, last, nil
+}
+
 // maybeSync applies the fsync policy after an append.
 //
 //tf:hotpath

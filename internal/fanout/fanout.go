@@ -64,6 +64,14 @@ type Pool struct {
 	started bool
 	closed  bool
 
+	// wg is the reusable batch barrier. Reuse across Run calls is safe
+	// because Run is never concurrent with itself: Wait returns only when
+	// the previous batch's count reaches zero, strictly before the next
+	// Add. Owning it here (instead of a per-Run local) keeps the barrier
+	// off the heap: a local WaitGroup escapes through the task channel and
+	// would cost one allocation per parallel update.
+	wg sync.WaitGroup
+
 	batches   atomic.Uint64
 	pooled    atomic.Uint64
 	busyNs    atomic.Uint64
@@ -113,13 +121,12 @@ func (p *Pool) Run(tasks []func()) {
 	}
 	p.batches.Add(1)
 	p.pooled.Add(uint64(len(tasks) - 1))
-	var wg sync.WaitGroup
-	wg.Add(len(tasks) - 1)
+	p.wg.Add(len(tasks) - 1)
 	for _, fn := range tasks[1:] {
-		p.ch <- task{run: fn, wg: &wg}
+		p.ch <- task{run: fn, wg: &p.wg}
 	}
 	tasks[0]()
-	wg.Wait()
+	p.wg.Wait()
 }
 
 func (p *Pool) worker(i int) {
@@ -177,9 +184,25 @@ type Emission struct {
 // Mapping storage is recycled across updates: Record copies the
 // engine-owned mapping slice (engines reuse it between emissions), and
 // Reset keeps the backing arrays for the next update.
+//
+// For batch evaluation a buffer additionally tags emissions with the
+// batch update index that produced them: the worker calls BeginUpdate
+// before evaluating each of its updates, and the coordinator replays one
+// update's emissions at a time with ReplayMark, merging buffers across
+// engines in (update index, registration order). Mark storage is
+// recycled exactly like emission storage.
 type EmissionBuffer struct {
-	ems []Emission
-	n   int
+	ems   []Emission
+	n     int
+	marks []mark
+	nm    int
+}
+
+// mark tags the emissions recorded after one BeginUpdate call with the
+// batch update index they belong to.
+type mark struct {
+	idx   int32 // batch update index
+	start int32 // position of the mark's first emission
 }
 
 // Record appends one emission, copying the mapping.
@@ -206,8 +229,42 @@ func (b *EmissionBuffer) Replay(fn func(positive bool, mapping []graph.VertexID)
 	}
 }
 
-// Reset forgets the recorded emissions but keeps their storage.
-func (b *EmissionBuffer) Reset() { b.n = 0 }
+// BeginUpdate records that every emission from here to the next
+// BeginUpdate (or Reset) belongs to batch update idx. Called by the
+// worker evaluating the buffer's engine, before each of its updates.
+func (b *EmissionBuffer) BeginUpdate(idx int) {
+	if b.nm < len(b.marks) {
+		b.marks[b.nm] = mark{idx: int32(idx), start: int32(b.n)}
+	} else {
+		b.marks = append(b.marks, mark{idx: int32(idx), start: int32(b.n)})
+	}
+	b.nm++
+}
+
+// Marks reports the number of BeginUpdate calls since the last Reset.
+func (b *EmissionBuffer) Marks() int { return b.nm }
+
+// MarkIndex returns the batch update index the k-th mark was tagged with.
+func (b *EmissionBuffer) MarkIndex(k int) int { return int(b.marks[k].idx) }
+
+// ReplayMark invokes fn for the emissions recorded under the k-th
+// BeginUpdate mark, in record order, with the same mapping ownership
+// rules as Replay.
+func (b *EmissionBuffer) ReplayMark(k int, fn func(positive bool, mapping []graph.VertexID)) {
+	if k < 0 || k >= b.nm {
+		return
+	}
+	end := b.n
+	if k+1 < b.nm {
+		end = int(b.marks[k+1].start)
+	}
+	for i := int(b.marks[k].start); i < end; i++ {
+		fn(b.ems[i].Positive, b.ems[i].Mapping)
+	}
+}
+
+// Reset forgets the recorded emissions and marks but keeps their storage.
+func (b *EmissionBuffer) Reset() { b.n, b.nm = 0, 0 }
 
 // Len reports the number of buffered emissions.
 func (b *EmissionBuffer) Len() int { return b.n }

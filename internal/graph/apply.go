@@ -1,0 +1,150 @@
+package graph
+
+// Applier streams mutations into a Graph with batch-amortized
+// bookkeeping, the recovery-replay counterpart of the engine's batched
+// evaluation pipeline (DESIGN.md §12). Compared to calling InsertEdge /
+// DeleteEdge per update it:
+//
+//   - fuses the duplicate/existence probe with the mutation, so each
+//     adjacency map is hashed once less per edge;
+//   - skips the redundant endpoint-existence checks InsertEdge pays via
+//     EnsureVertex;
+//   - defers the per-label edge counters and the global edge count into
+//     scratch deltas merged once per Flush, replacing two map operations
+//     per update with array arithmetic.
+//
+// The graph is fully consistent at every point except the counters
+// returned by EdgeCount and NumEdges, which lag until Flush. Callers
+// must Flush before handing the graph to any reader of those counters.
+// An Applier is scratch, not state: create one per replay (or reuse it
+// across batches of the same graph) and do not mix direct counter-
+// touching mutations (InsertEdge/DeleteEdge) between Flushes.
+type Applier struct {
+	g *Graph
+
+	edgeDelta []int   // per-label live-edge delta, indexed by Label
+	touched   []Label // labels with a (possibly zero) recorded delta
+	edges     int     // pending delta for g.numEdges
+}
+
+// NewApplier returns an Applier over g with empty pending deltas.
+func NewApplier(g *Graph) *Applier { return &Applier{g: g} }
+
+// bump records a per-label edge-count delta without touching the map.
+func (a *Applier) bump(l Label, d int) {
+	if int(l) >= len(a.edgeDelta) {
+		nd := make([]int, int(l)+1)
+		copy(nd, a.edgeDelta)
+		a.edgeDelta = nd
+	}
+	if a.edgeDelta[l] == 0 {
+		a.touched = append(a.touched, l)
+	}
+	a.edgeDelta[l] += d
+}
+
+// ensureData returns the vertex data for v, creating an unlabeled vertex
+// if absent (the InsertEdge auto-create rule).
+func (a *Applier) ensureData(v VertexID) *vertexData {
+	g := a.g
+	if int(v) < len(g.verts) {
+		if vd := g.verts[v]; vd != nil {
+			return vd
+		}
+	}
+	g.grow(v)
+	vd := &vertexData{}
+	g.verts[v] = vd
+	g.numVerts++
+	return vd
+}
+
+// InsertEdge adds edge (from, l, to), creating missing endpoints as
+// unlabeled vertices, and reports whether the edge was newly inserted.
+// Counter updates are deferred to Flush.
+//
+//tf:hotpath
+func (a *Applier) InsertEdge(from VertexID, l Label, to VertexID) bool {
+	fd := a.ensureData(from)
+	out := fd.out[l]
+	for _, x := range out {
+		if x == to {
+			return false
+		}
+	}
+	td := fd
+	if to != from {
+		td = a.ensureData(to)
+	}
+	if fd.out == nil {
+		fd.out = make(map[Label][]VertexID, 2)
+	}
+	fd.out[l] = append(out, to)
+	fd.outDeg++
+	if td.in == nil {
+		td.in = make(map[Label][]VertexID, 2)
+	}
+	td.in[l] = append(td.in[l], from)
+	td.inDeg++
+	a.bump(l, 1)
+	a.edges++
+	return true
+}
+
+// DeleteEdge removes edge (from, l, to) and reports whether it existed.
+// Counter updates are deferred to Flush; slot recycling matches
+// Graph.DeleteEdge.
+//
+//tf:hotpath
+func (a *Applier) DeleteEdge(from VertexID, l Label, to VertexID) bool {
+	g := a.g
+	if int(from) >= len(g.verts) || g.verts[from] == nil {
+		return false
+	}
+	fd := g.verts[from]
+	out := fd.out[l]
+	i := 0
+	for ; i < len(out); i++ {
+		if out[i] == to {
+			break
+		}
+	}
+	if i == len(out) {
+		return false
+	}
+	out[i] = out[len(out)-1]
+	storeAdj(fd.out, l, out[:len(out)-1])
+	fd.outDeg--
+	td := g.verts[to]
+	storeAdj(td.in, l, removeFirst(td.in[l], from))
+	td.inDeg--
+	a.bump(l, -1)
+	a.edges--
+	return true
+}
+
+// DeclareVertex creates v with the given labels if absent (the OpVertex
+// rule: an existing vertex is left untouched) and reports whether it was
+// created.
+func (a *Applier) DeclareVertex(v VertexID, labels []Label) bool {
+	if a.g.HasVertex(v) {
+		return false
+	}
+	a.g.EnsureVertex(v, labels...)
+	return true
+}
+
+// Flush merges the pending counter deltas into the graph. Cheap when
+// nothing is pending, so callers flush once per batch unconditionally.
+func (a *Applier) Flush() {
+	g := a.g
+	for _, l := range a.touched {
+		if d := a.edgeDelta[l]; d != 0 {
+			g.edgeCount[l] += d
+			a.edgeDelta[l] = 0
+		}
+	}
+	a.touched = a.touched[:0]
+	g.numEdges += a.edges
+	a.edges = 0
+}

@@ -1,0 +1,156 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestAdjacencyCompaction pins the deleted-slot recycling contract:
+// draining a large per-label adjacency list shrinks its backing array,
+// and emptying it drops the map entry entirely.
+func TestAdjacencyCompaction(t *testing.T) {
+	g := New()
+	const n = 1024
+	for i := 1; i <= n; i++ {
+		if !g.InsertEdge(1, 0, VertexID(1+i)) {
+			t.Fatalf("insert %d: duplicate?", i)
+		}
+	}
+	if c := cap(g.verts[1].out[0]); c < n {
+		t.Fatalf("out cap = %d after %d inserts", c, n)
+	}
+	for i := 1; i <= n-8; i++ {
+		if !g.DeleteEdge(1, 0, VertexID(1+i)) {
+			t.Fatalf("delete %d: missing?", i)
+		}
+	}
+	out := g.verts[1].out[0]
+	if len(out) != 8 {
+		t.Fatalf("len = %d, want 8", len(out))
+	}
+	if cap(out) > 64 {
+		t.Fatalf("out cap = %d after draining to 8: backing array not compacted", cap(out))
+	}
+	for i := n - 7; i <= n; i++ {
+		if !g.DeleteEdge(1, 0, VertexID(1+i)) {
+			t.Fatalf("delete %d: missing?", i)
+		}
+	}
+	if _, ok := g.verts[1].out[Label(0)]; ok {
+		t.Fatal("empty adjacency list retains its map entry")
+	}
+	// Every in-side singleton list was dropped too.
+	for i := 1; i <= n; i++ {
+		if _, ok := g.verts[1+i].in[Label(0)]; ok {
+			t.Fatalf("vertex %d retains an empty in-list entry", 1+i)
+		}
+	}
+	if g.NumEdges() != 0 || g.EdgeCount(0) != 0 {
+		t.Fatalf("counters: numEdges=%d edgeCount=%d", g.NumEdges(), g.EdgeCount(0))
+	}
+}
+
+// TestAdjacencySteadyStateChurn is the regression the compaction exists
+// for: long insert/delete churn at a stable live size must not grow the
+// adjacency backing array unboundedly.
+func TestAdjacencySteadyStateChurn(t *testing.T) {
+	g := New()
+	const live = 16
+	next := VertexID(2)
+	var fifo []VertexID
+	for i := 0; i < live; i++ {
+		g.InsertEdge(1, 0, next)
+		fifo = append(fifo, next)
+		next++
+	}
+	for i := 0; i < 20000; i++ {
+		g.InsertEdge(1, 0, next)
+		fifo = append(fifo, next)
+		next++
+		g.DeleteEdge(1, 0, fifo[0])
+		fifo = fifo[1:]
+	}
+	out := g.verts[1].out[0]
+	if len(out) != live {
+		t.Fatalf("len = %d, want %d", len(out), live)
+	}
+	if cap(out) > 4*live {
+		t.Fatalf("out cap = %d after 20k churn ops at live size %d: unbounded growth", cap(out), live)
+	}
+}
+
+// TestApplierMatchesDirectMutation checks the batched Applier produces a
+// graph indistinguishable from per-update InsertEdge/DeleteEdge,
+// including the counters it defers to Flush.
+func TestApplierMatchesDirectMutation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	type op struct {
+		del      bool
+		from, to VertexID
+		l        Label
+	}
+	var ops []op
+	for i := 0; i < 3000; i++ {
+		ops = append(ops, op{
+			del:  rng.Float64() < 0.4,
+			from: VertexID(1 + rng.Intn(40)),
+			to:   VertexID(1 + rng.Intn(40)),
+			l:    Label(rng.Intn(4)),
+		})
+	}
+
+	direct := New()
+	for _, o := range ops {
+		if o.del {
+			direct.DeleteEdge(o.from, o.l, o.to)
+		} else {
+			direct.InsertEdge(o.from, o.l, o.to)
+		}
+	}
+
+	batched := New()
+	ap := NewApplier(batched)
+	for i, o := range ops {
+		if o.del {
+			ap.DeleteEdge(o.from, o.l, o.to)
+		} else {
+			ap.InsertEdge(o.from, o.l, o.to)
+		}
+		if i%257 == 0 {
+			ap.Flush()
+		}
+	}
+	ap.Flush()
+
+	if direct.NumVertices() != batched.NumVertices() {
+		t.Fatalf("NumVertices: direct %d, batched %d", direct.NumVertices(), batched.NumVertices())
+	}
+	if direct.NumEdges() != batched.NumEdges() {
+		t.Fatalf("NumEdges: direct %d, batched %d", direct.NumEdges(), batched.NumEdges())
+	}
+	for l := Label(0); l < 4; l++ {
+		if direct.EdgeCount(l) != batched.EdgeCount(l) {
+			t.Fatalf("EdgeCount(%d): direct %d, batched %d", l, direct.EdgeCount(l), batched.EdgeCount(l))
+		}
+	}
+	sorted := func(vs []VertexID) []VertexID {
+		cp := append([]VertexID(nil), vs...)
+		sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+		return cp
+	}
+	for v := VertexID(1); v <= 40; v++ {
+		for l := Label(0); l < 4; l++ {
+			d := sorted(direct.OutNeighbors(v, l))
+			b := sorted(batched.OutNeighbors(v, l))
+			if len(d) != len(b) {
+				t.Fatalf("OutNeighbors(%d,%d): direct %v, batched %v", v, l, d, b)
+			}
+			for i := range d {
+				if d[i] != b[i] {
+					t.Fatalf("OutNeighbors(%d,%d): direct %v, batched %v", v, l, d, b)
+				}
+			}
+		}
+	}
+}

@@ -102,11 +102,10 @@ func (g *Graph) AddVertex(v VertexID, labels ...Label) error {
 	ls := append([]Label(nil), labels...)
 	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 	ls = dedupLabels(ls)
-	g.verts[v] = &vertexData{
-		labels: ls,
-		out:    make(map[Label][]VertexID),
-		in:     make(map[Label][]VertexID),
-	}
+	// Adjacency maps are allocated lazily by the first incident edge:
+	// reads on the nil maps are valid, and vertex-heavy streams (bulk
+	// declarations, WAL replay) skip two map allocations per vertex.
+	g.verts[v] = &vertexData{labels: ls}
 	g.numVerts++
 	for _, l := range ls {
 		g.byLabel[l] = append(g.byLabel[l], v)
@@ -226,8 +225,14 @@ func (g *Graph) InsertEdge(from VertexID, l Label, to VertexID) bool {
 	g.EnsureVertex(from)
 	g.EnsureVertex(to)
 	fd, td := g.verts[from], g.verts[to]
+	if fd.out == nil {
+		fd.out = make(map[Label][]VertexID, 2)
+	}
 	fd.out[l] = append(fd.out[l], to)
 	fd.outDeg++
+	if td.in == nil {
+		td.in = make(map[Label][]VertexID, 2)
+	}
 	td.in[l] = append(td.in[l], from)
 	td.inDeg++
 	g.edgeCount[l]++
@@ -242,9 +247,9 @@ func (g *Graph) DeleteEdge(from VertexID, l Label, to VertexID) bool {
 		return false
 	}
 	fd, td := g.verts[from], g.verts[to]
-	fd.out[l] = removeFirst(fd.out[l], to)
+	storeAdj(fd.out, l, removeFirst(fd.out[l], to))
 	fd.outDeg--
-	td.in[l] = removeFirst(td.in[l], from)
+	storeAdj(td.in, l, removeFirst(td.in[l], from))
 	td.inDeg--
 	g.edgeCount[l]--
 	g.numEdges--
@@ -259,6 +264,33 @@ func removeFirst(s []VertexID, v VertexID) []VertexID {
 		}
 	}
 	return s
+}
+
+// adjShrinkMin is the smallest backing-array capacity delete compaction
+// bothers with; below it the waste is a few words per list.
+const adjShrinkMin = 16
+
+// storeAdj writes a per-label adjacency list back after a removal,
+// recycling deleted-edge slots: an emptied list's map entry is dropped
+// (releasing its backing array), and a list whose live length has fallen
+// to a quarter of its capacity is reallocated at half capacity. The
+// swap-remove in removeFirst already bounds length; this bounds the
+// retained capacity too, so long insert/delete churn converges to the
+// steady-state working set instead of pinning the high-water mark. The
+// 4-to-1 shrink trigger against the 2-to-1 new capacity leaves headroom,
+// so churn around a stable degree cannot thrash between shrinking and
+// regrowing.
+func storeAdj(m map[Label][]VertexID, l Label, s []VertexID) {
+	switch {
+	case len(s) == 0:
+		delete(m, l)
+	case cap(s) >= adjShrinkMin && len(s)*4 <= cap(s):
+		ns := make([]VertexID, len(s), cap(s)/2)
+		copy(ns, s)
+		m[l] = ns
+	default:
+		m[l] = s
+	}
 }
 
 // HasEdge reports whether edge (from, l, to) exists.

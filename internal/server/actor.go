@@ -21,6 +21,7 @@ type engineHost interface {
 	Unregister(name string) bool
 	Queries() []string
 	Apply(u turboflux.Update) (map[string]int64, error)
+	ApplyBatchFunc(ups []turboflux.Update, boundary func(i int)) (map[string]int64, error)
 	Stats() map[string]turboflux.Stats
 	FanOutStats() turboflux.FanOutStats
 	Close() error
@@ -97,10 +98,14 @@ type actor struct {
 
 	conns    *atomic.Int64 // live connection count, owned by Server
 	closeErr error         // store-close error, read after done
+
+	// boundary is the persistent per-update hook handed to ApplyBatchFunc
+	// (built once so batch frames allocate no closures).
+	boundary func(i int)
 }
 
 func newActor(host engineHost, durable *turboflux.DurableMultiEngine, vdict, edict *turboflux.Dict, policy SlowPolicy, depth int, conns *atomic.Int64) *actor {
-	return &actor{
+	a := &actor{
 		host:    host,
 		durable: durable,
 		vdict:   vdict,
@@ -114,6 +119,12 @@ func newActor(host engineHost, durable *turboflux.DurableMultiEngine, vdict, edi
 		lat:     stats.NewLatency(0),
 		conns:   conns,
 	}
+	a.boundary = func(int) {
+		a.seq++
+		a.updates++
+		a.flushPending(a.seq)
+	}
+	return a
 }
 
 // run is the actor loop. Everything that touches the engine happens here.
@@ -167,17 +178,10 @@ func (a *actor) handle(req request) {
 			resp.total += n
 		}
 	case reqBatch:
-		resp.seq = a.seq + 1
-		for _, u := range req.ups {
-			_, counts, err := a.applyOne(u)
-			if err != nil {
-				resp.err = err
-				break
-			}
-			//tf:unordered-ok summing counts is order-independent
-			for _, n := range counts {
-				resp.total += n
-			}
+		resp.seq, resp.counts, resp.err = a.applyBatch(req.ups)
+		//tf:unordered-ok summing counts is order-independent
+		for _, n := range resp.counts {
+			resp.total += n
 		}
 	case reqRegister:
 		resp.err = a.register(req.name, req.arg)
@@ -291,6 +295,27 @@ func (a *actor) applyOne(u stream.Update) (uint64, map[string]int64, error) {
 	a.flushPending(a.seq)
 	a.lat.Observe(time.Since(start))
 	return a.seq, counts, err
+}
+
+// applyBatch executes a whole BATCH/BATCHB frame through the engine's
+// batched pipeline (journaling the frame as one log write in durable
+// mode) and returns the sequence number of its first update. The
+// boundary hook preserves the per-update serving contract: it fires once
+// per batch index, after that update's matches have been replayed into
+// pending and before any later update's, so each event is stamped with
+// its own update's sequence number and delivered before the next
+// update's events — the same interleaving a client driving updates
+// one at a time would observe. Unlike the pre-batching loop, an engine
+// error on one update no longer abandons the rest of the frame: every
+// update is applied and the per-update errors are aggregated.
+//
+//tf:hotpath
+func (a *actor) applyBatch(ups []stream.Update) (uint64, map[string]int64, error) {
+	start := time.Now()
+	first := a.seq + 1
+	counts, err := a.host.ApplyBatchFunc(ups, a.boundary)
+	a.lat.Observe(time.Since(start))
+	return first, counts, err
 }
 
 // flushPending delivers the matches buffered during one update to their

@@ -31,6 +31,19 @@ type mslot struct {
 	buffering bool // true inside the parallel window; routes OnMatch to buf
 	count     int64
 	err       error
+
+	// Batch-run state (ApplyBatch). pos is the slot's index in the
+	// registration order, addressing the coordinator's routing bitset.
+	// runIdx is the slot's sub-sequence of the current run: the batch
+	// update indices it must evaluate, walked in order by batchTask with
+	// per-update results in runN/runErr (parallel slices, written by the
+	// worker inside the run window, read by the coordinator after the
+	// barrier). All three are reused scratch.
+	pos       int
+	batchTask func() // persistent pool task: walk runIdx against the batch
+	runIdx    []int32
+	runN      []int64
+	runErr    []error
 }
 
 // MultiEngine runs several continuous queries over one shared data graph,
@@ -76,15 +89,49 @@ type MultiEngine struct {
 	insEval func(*core.Engine) (int64, error)
 	delEval func(*core.Engine) (int64, error)
 	curEval func(*core.Engine) (int64, error)
+
+	// Batch pipeline state (ApplyBatch): the batch being evaluated (read
+	// by the slots' batchTask thunks) and reused per-run scheduling
+	// scratch — see DESIGN.md §12. engaged is the routing bitset over
+	// registration positions; runEdges detects same-edge conflicts via an
+	// epoch so it is never cleared on the hot path; runPairs lists the
+	// (update index, slot) evaluations of the current run in batch order;
+	// runDels holds the run's deletions, applied to the graph after the
+	// barrier (Algorithm 2: deletions evaluate before removal).
+	batch       []stream.Update
+	engaged     []uint64
+	runEdges    map[Edge]uint32
+	edgeEpoch   uint32
+	runPairs    []runPair
+	runSlots    []*mslot
+	runDels     []Edge
+	batchCounts map[string]int64
+	batchErrs   []error
+
+	// shardTasks are prebuilt per-worker composite tasks: shard k walks
+	// runSlots[k], runSlots[k+W], ... calling each slot's batchTask. When
+	// a run engages more slots than the pool has workers, dispatching one
+	// shard per worker instead of one task per slot caps the barrier at
+	// W-1 channel handoffs per run. Rebuilt when the pool is resized.
+	shardTasks []func()
+}
+
+// runPair is one scheduled evaluation of a run: slot evaluates the batch
+// update at idx, whose results land in the slot's k-th run cells.
+type runPair struct {
+	idx  int32
+	k    int32
+	slot *mslot
 }
 
 // NewMultiEngine wraps the initial data graph g0. The MultiEngine takes
 // ownership of g0: route every mutation through it.
 func NewMultiEngine(g0 *Graph) *MultiEngine {
 	m := &MultiEngine{
-		g:     g0,
-		slots: make(map[string]*mslot),
-		pool:  fanout.New(0),
+		g:        g0,
+		slots:    make(map[string]*mslot),
+		pool:     fanout.New(0),
+		runEdges: make(map[Edge]uint32, 64),
 	}
 	m.insEval = func(e *core.Engine) (int64, error) {
 		return e.EvalInsertedEdge(m.pending.From, m.pending.Label, m.pending.To)
@@ -92,7 +139,24 @@ func NewMultiEngine(g0 *Graph) *MultiEngine {
 	m.delEval = func(e *core.Engine) (int64, error) {
 		return e.EvalBeforeDelete(m.pending.From, m.pending.Label, m.pending.To)
 	}
+	m.buildShards()
 	return m
+}
+
+// buildShards rebuilds the per-worker composite batch tasks for the
+// current pool size. Each engaged slot belongs to exactly one shard, so
+// its emission buffer and run scratch stay single-writer.
+func (m *MultiEngine) buildShards() {
+	w := m.pool.Workers()
+	m.shardTasks = m.shardTasks[:0]
+	for k := 0; k < w; k++ {
+		k := k
+		m.shardTasks = append(m.shardTasks, func() {
+			for j := k; j < len(m.runSlots); j += w {
+				m.runSlots[j].batchTask()
+			}
+		})
+	}
 }
 
 // SetFanOutWorkers resizes the fan-out worker pool; n <= 0 means
@@ -108,6 +172,7 @@ func (m *MultiEngine) SetFanOutWorkers(n int) {
 	}
 	m.pool.Close()
 	m.pool = fanout.New(n)
+	m.buildShards()
 }
 
 // FanOutWorkers returns the configured fan-out pool size.
@@ -158,6 +223,21 @@ func (m *MultiEngine) Register(name string, q *Query, opt Options) error {
 	}
 	s.eng = eng
 	s.task = func() { s.count, s.err = m.curEval(s.eng) }
+	s.batchTask = func() {
+		for _, idx := range s.runIdx {
+			u := m.batch[idx]
+			s.buf.BeginUpdate(int(idx))
+			var n int64
+			var err error
+			if u.Op == stream.OpInsert {
+				n, err = s.eng.EvalInsertedEdge(u.Edge.From, u.Edge.Label, u.Edge.To)
+			} else {
+				n, err = s.eng.EvalBeforeDelete(u.Edge.From, u.Edge.Label, u.Edge.To)
+			}
+			s.runN = append(s.runN, n)
+			s.runErr = append(s.runErr, err)
+		}
+	}
 	m.slots[name] = s
 	m.order = append(m.order, s)
 	m.rebuildLabelIndex()
@@ -175,11 +255,13 @@ func (m *MultiEngine) rebuildLabelIndex() {
 		}
 	}
 	m.byLabel = make([][]*mslot, int(maxL)+1)
-	for _, s := range m.order {
+	for i, s := range m.order {
+		s.pos = i
 		for l := range s.labels { //tf:unordered-ok each label's slot list is ordered by the outer registration-order loop
 			m.byLabel[l] = append(m.byLabel[l], s)
 		}
 	}
+	m.engaged = make([]uint64, (len(m.order)+63)/64)
 }
 
 // queryEdgeLabels collects the set of edge labels a query mentions; an
@@ -291,6 +373,311 @@ func (m *MultiEngine) Apply(u Update) (map[string]int64, error) {
 	default:
 		return nil, fmt.Errorf("turboflux: unknown update op %d", u.Op)
 	}
+}
+
+// ApplyBatch applies a whole batch of stream updates with batched
+// evaluation: label routing, worker dispatch and the ordered emission
+// replay are amortized over runs of consecutive updates instead of paid
+// per update (DESIGN.md §12). Observable behavior — the OnMatch
+// transcript of every query, the aggregated per-query counts, and the
+// final graph — is byte-identical to applying the batch one update at a
+// time with Apply, with one exception: a failing update does not stop
+// the batch. Every update is applied and evaluated, and the per-update
+// errors are aggregated with errors.Join, each wrapped as `update i`
+// (plus the query name), so errors.Is still detects ErrWorkBudget.
+//
+// The returned counts map aggregates per-query match counts over the
+// whole batch (non-zero entries only).
+func (m *MultiEngine) ApplyBatch(ups []stream.Update) (map[string]int64, error) {
+	return m.ApplyBatchFunc(ups, nil)
+}
+
+// ApplyBatchFunc is ApplyBatch with a per-update boundary hook: when
+// boundary is non-nil it is invoked exactly once per batch index, in
+// ascending order, after every OnMatch emission of that update has been
+// delivered and before any emission of a later update — the hook a
+// caller needs to stamp per-update sequence numbers onto emissions (the
+// network server does exactly that). A batch of one delegates to the
+// per-update path.
+//
+//tf:hotpath
+func (m *MultiEngine) ApplyBatchFunc(ups []stream.Update, boundary func(i int)) (map[string]int64, error) {
+	if len(ups) == 0 {
+		return nil, nil
+	}
+	if len(ups) == 1 {
+		counts, err := m.Apply(ups[0])
+		if err != nil {
+			err = fmt.Errorf("update 0: %w", err) //tf:alloc-ok error path
+		}
+		if boundary != nil {
+			boundary(0)
+		}
+		return counts, err
+	}
+	m.batch = ups
+	m.batchCounts = nil
+	m.batchErrs = m.batchErrs[:0]
+	for i := 0; i < len(ups); {
+		i = m.scheduleRun(i, boundary)
+	}
+	m.batch = nil
+	counts := m.batchCounts
+	m.batchCounts = nil
+	errs := m.batchErrs
+	m.batchErrs = errs[:0] // errors.Join copies; keep the backing array
+	return counts, errors.Join(errs...)
+}
+
+// maxRunEdges caps the size of the epoch-keyed conflict map; past it the
+// map is reallocated rather than accumulating stale edges forever.
+const maxRunEdges = 1 << 15
+
+// scheduleRun builds and executes one run: the longest prefix of
+// ups[start:] in which every registered engine has at most one relevant
+// update and no two updates touch the same edge. Within such a run each
+// engine's evaluation observes exactly the graph state sequential
+// evaluation would show it — an engine only reads adjacency through its
+// query's edge labels, and its single relevant update is the only batch
+// update carrying one of those labels — so all of the run's evaluations
+// can share one frozen-graph window and one pool dispatch. Edge
+// insertions are pre-applied in batch order as the run is built;
+// deletions evaluate inside the window and mutate the graph after it
+// (the paper's Algorithm 2 order). Updates that create vertices (fresh
+// declarations, inserts auto-creating an endpoint) run solo through the
+// per-update path so engine vertex notifications keep their exact
+// sequential position. No-ops (duplicate inserts, absent deletes,
+// re-declarations) are detected exactly, because any update whose edge
+// was already touched in the run forces the run to flush first.
+//
+// It returns the index of the first update not consumed.
+//
+//tf:hotpath
+func (m *MultiEngine) scheduleRun(start int, boundary func(i int)) int {
+	ups := m.batch
+	for j := range m.engaged {
+		m.engaged[j] = 0
+	}
+	m.edgeEpoch++
+	if m.edgeEpoch == 0 || len(m.runEdges) > maxRunEdges {
+		m.runEdges = make(map[Edge]uint32, 64)
+		m.edgeEpoch = 1
+	}
+	i := start
+loop:
+	for i < len(ups) {
+		u := ups[i]
+		switch u.Op {
+		case stream.OpInsert:
+			e := u.Edge
+			if m.runEdges[e] == m.edgeEpoch {
+				break loop // same-edge conflict: next run re-examines it
+			}
+			newFrom := !m.g.HasVertex(e.From)
+			newTo := e.To != e.From && !m.g.HasVertex(e.To)
+			if newFrom || newTo {
+				if i > start {
+					break loop
+				}
+				// Solo per-update path: Insert notifies non-relevant
+				// engines of the created vertices in sequential position.
+				counts, err := m.Insert(e.From, e.Label, e.To)
+				m.mergeBatch(i, counts, err, boundary)
+				return i + 1
+			}
+			rel := m.relevant(e.Label)
+			if m.anyEngaged(rel) {
+				break loop
+			}
+			if !m.g.InsertEdge(e.From, e.Label, e.To) {
+				i++ // duplicate: sequential no-op
+				continue
+			}
+			m.runEdges[e] = m.edgeEpoch
+			m.engageRun(i, rel)
+			i++
+		case stream.OpDelete:
+			e := u.Edge
+			if m.runEdges[e] == m.edgeEpoch {
+				break loop
+			}
+			if !m.g.HasEdge(e.From, e.Label, e.To) {
+				i++ // absent: sequential no-op
+				continue
+			}
+			rel := m.relevant(e.Label)
+			if m.anyEngaged(rel) {
+				break loop
+			}
+			m.runEdges[e] = m.edgeEpoch
+			m.engageRun(i, rel)
+			m.runDels = append(m.runDels, e)
+			i++
+		case stream.OpVertex:
+			if m.g.HasVertex(u.Vertex) {
+				i++ // existing vertex: sequential no-op
+				continue
+			}
+			if i > start {
+				break loop
+			}
+			// Solo: declare and notify every engine, sequential position.
+			m.g.EnsureVertex(u.Vertex, u.Labels...)
+			for _, s := range m.order {
+				s.eng.NotifyVertexAdded(u.Vertex)
+			}
+			if boundary != nil {
+				boundary(i)
+			}
+			return i + 1
+		default:
+			m.batchErrs = append(m.batchErrs,
+				fmt.Errorf("update %d: unknown update op %d", i, u.Op)) //tf:alloc-ok error path
+			i++ // no effects; keeps its boundary slot in the flush walk
+		}
+	}
+	m.flushRun(start, i, boundary)
+	return i
+}
+
+// mergeBatch folds a solo update's counts and error into the batch
+// accumulators and fires its boundary.
+func (m *MultiEngine) mergeBatch(idx int, counts map[string]int64, err error, boundary func(i int)) {
+	for name, n := range counts { //tf:unordered-ok merging into a map
+		if m.batchCounts == nil {
+			m.batchCounts = make(map[string]int64)
+		}
+		m.batchCounts[name] += n
+	}
+	if err != nil {
+		m.batchErrs = append(m.batchErrs, fmt.Errorf("update %d: %w", idx, err))
+	}
+	if boundary != nil {
+		boundary(idx)
+	}
+}
+
+// relevant returns the slots whose queries mention label l, in
+// registration order.
+func (m *MultiEngine) relevant(l Label) []*mslot {
+	if int(l) < len(m.byLabel) {
+		return m.byLabel[l]
+	}
+	return nil
+}
+
+// anyEngaged reports whether any of rel is already engaged in the
+// current run (the routing bitset over registration positions).
+//
+//tf:hotpath
+func (m *MultiEngine) anyEngaged(rel []*mslot) bool {
+	for _, s := range rel {
+		if m.engaged[s.pos>>6]&(1<<(uint(s.pos)&63)) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// engageRun schedules the batch update at idx onto every relevant slot:
+// marks the slots engaged, appends idx to their run sub-sequences and
+// records the (idx, slot) pairs in batch order for the ordered replay.
+// Mirrors the per-update routing counters.
+//
+//tf:hotpath
+func (m *MultiEngine) engageRun(idx int, rel []*mslot) {
+	for _, s := range rel {
+		if m.engaged[s.pos>>6]&(1<<(uint(s.pos)&63)) == 0 {
+			m.engaged[s.pos>>6] |= 1 << (uint(s.pos) & 63)
+			s.runIdx = s.runIdx[:0]
+			s.runN = s.runN[:0]
+			s.runErr = s.runErr[:0]
+			s.buf.Reset()
+			m.runSlots = append(m.runSlots, s)
+		}
+		s.runIdx = append(s.runIdx, int32(idx))
+		m.runPairs = append(m.runPairs, runPair{idx: int32(idx), k: int32(len(s.runIdx) - 1), slot: s})
+	}
+	m.evals += uint64(len(rel))
+	m.skipped += uint64(len(m.order) - len(rel))
+}
+
+// flushRun executes the scheduled run: one pool dispatch over the
+// engaged slots (each walking its own sub-sequence of the batch against
+// the frozen graph), then one ordered replay merging the buffered
+// emissions by (update index, registration order) with per-update
+// boundaries interleaved, then the deferred deletions leave the graph.
+//
+//tf:hotpath
+func (m *MultiEngine) flushRun(start, end int, boundary func(i int)) {
+	if len(m.runSlots) > 0 {
+		for _, s := range m.runSlots {
+			s.buffering = true
+		}
+		tasks := m.tasks[:0]
+		if len(m.runSlots) > len(m.shardTasks) {
+			// More engaged engines than workers: one composite shard per
+			// worker instead of one task per slot keeps the barrier at
+			// W-1 handoffs however many engines the run engaged.
+			tasks = append(tasks, m.shardTasks...)
+		} else {
+			for _, s := range m.runSlots {
+				tasks = append(tasks, s.batchTask)
+			}
+		}
+		m.tasks = tasks[:0]
+		m.pool.Run(tasks)
+		for _, s := range m.runSlots {
+			s.buffering = false
+		}
+	}
+	next := start
+	for p := 0; p < len(m.runPairs); {
+		idx := int(m.runPairs[p].idx)
+		for ; next < idx; next++ {
+			if boundary != nil {
+				boundary(next)
+			}
+		}
+		for ; p < len(m.runPairs) && int(m.runPairs[p].idx) == idx; p++ {
+			pr := m.runPairs[p]
+			s := pr.slot
+			if s.user != nil {
+				s.buf.ReplayMark(int(pr.k), s.user)
+			}
+			if n := s.runN[pr.k]; n != 0 {
+				if m.batchCounts == nil {
+					m.batchCounts = make(map[string]int64)
+				}
+				m.batchCounts[s.name] += n
+			}
+			if err := s.runErr[pr.k]; err != nil {
+				m.batchErrs = append(m.batchErrs,
+					fmt.Errorf("update %d query %q: %w", idx, s.name, err)) //tf:alloc-ok error path
+			}
+		}
+		if boundary != nil {
+			boundary(next)
+		}
+		next++
+	}
+	for ; next < end; next++ {
+		if boundary != nil {
+			boundary(next)
+		}
+	}
+	for _, e := range m.runDels {
+		m.g.DeleteEdge(e.From, e.Label, e.To)
+	}
+	// Leave every engaged buffer empty: the per-update parallel path
+	// (used by solo updates) replays whole buffers and relies on them
+	// starting clean.
+	for _, s := range m.runSlots {
+		s.buf.Reset()
+	}
+	m.runDels = m.runDels[:0]
+	m.runSlots = m.runSlots[:0]
+	m.runPairs = m.runPairs[:0]
 }
 
 // fanOut evaluates the already-applied (insert) or not-yet-removed

@@ -34,6 +34,8 @@
 package turboflux
 
 import (
+	"errors"
+	"fmt"
 	"io"
 
 	"turboflux/internal/core"
@@ -202,6 +204,25 @@ func (e *Engine) ApplyAll(ups []Update) (int64, error) {
 		total += n
 	}
 	return total, nil
+}
+
+// ApplyBatch applies a whole batch of updates and returns the total
+// match count. Unlike ApplyAll it evaluates every update even when some
+// fail: per-update errors are wrapped as `update i` and aggregated with
+// errors.Join, so a work-budget abort on one update does not silently
+// drop the rest of the batch. Match reporting order is identical to
+// applying the updates one at a time.
+func (e *Engine) ApplyBatch(ups []Update) (int64, error) {
+	var total int64
+	var errs []error
+	for i, u := range ups {
+		n, err := e.Apply(u)
+		total += n
+		if err != nil {
+			errs = append(errs, fmt.Errorf("update %d: %w", i, err)) //tf:alloc-ok error path
+		}
+	}
+	return total, errors.Join(errs...)
 }
 
 // Graph returns the engine's data graph. Treat it as read-only.
