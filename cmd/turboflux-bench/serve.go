@@ -71,6 +71,7 @@ func runServe(out string, clients, queries, updatesPerClient int) error {
 		return err
 	}
 	serveDone := make(chan error, 1)
+	//tf:goroutine bench-serve-loop
 	go func() { serveDone <- srv.Serve() }()
 	addr := srv.Addr().String()
 
@@ -101,6 +102,7 @@ func runServe(out string, clients, queries, updatesPerClient int) error {
 	start := time.Now()
 	for i, w := range writers {
 		wg.Add(1)
+		//tf:goroutine bench-writer
 		go func(i int, w *server.Client) {
 			defer wg.Done()
 			for k := 0; k < updatesPerClient; k++ {

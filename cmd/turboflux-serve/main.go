@@ -98,6 +98,7 @@ func run(addr, dataDir, fsync, graphPath, slow string, queue, workers int, numer
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	serveErr := make(chan error, 1)
+	//tf:goroutine serve-accept-loop
 	go func() { serveErr <- srv.Serve() }()
 
 	select {

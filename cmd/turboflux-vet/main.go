@@ -1,16 +1,22 @@
 // Command turboflux-vet runs the TurboFlux invariant analyzers over the
-// repository: oracle-isolation, dcg-encapsulation, deterministic-emission,
-// eval-readonly, hotpath-alloc and unchecked-error (see DESIGN.md,
-// "Enforced invariants").
+// repository: the data-flow invariants (oracle-isolation,
+// dcg-encapsulation, deterministic-emission, eval-readonly,
+// hotpath-alloc, unchecked-error) and the concurrency contracts
+// (actor-confinement, goroutine-lifecycle, channel-discipline,
+// lock-scope). See DESIGN.md, "Enforced invariants" and "Concurrency
+// contracts".
 //
 // Usage:
 //
-//	turboflux-vet [-C dir] [-json] [packages]
+//	turboflux-vet [-C dir] [-json] [-only names] [-skip names] [packages]
 //
 // Packages use go-tool patterns relative to dir (default "."): "./...",
-// "./internal/core". With no patterns, "./..." is assumed. Exit status is
-// 0 when the tree is clean, 1 when findings were reported, 2 when the
-// analysis could not run.
+// "./internal/core". With no patterns, "./..." is assumed. -only and
+// -skip take comma-separated analyzer names. A summary table always goes
+// to stderr. Every finding carries a severity: "error" findings are
+// contract violations, "warn" findings (hotpath-alloc) are advisory.
+// Exit status is 0 when no error-severity findings exist, 1 when they
+// do, 2 when the analysis could not run.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"text/tabwriter"
 
 	"turboflux/internal/analysis"
 	"turboflux/internal/analysis/analyzers"
@@ -32,6 +39,7 @@ func main() {
 // finding is the JSON shape of one diagnostic.
 type finding struct {
 	Analyzer string `json:"analyzer"`
+	Severity string `json:"severity"`
 	File     string `json:"file"`
 	Line     int    `json:"line"`
 	Col      int    `json:"col"`
@@ -42,6 +50,8 @@ type finding struct {
 type report struct {
 	Findings []finding `json:"findings"`
 	Count    int       `json:"count"`
+	Errors   int       `json:"errors"`
+	Warnings int       `json:"warnings"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
@@ -49,10 +59,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as JSON")
 	dir := fs.String("C", ".", "run as if started in this directory")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	skip := fs.String("skip", "", "comma-separated analyzer names to skip")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	diags, err := analysis.Run(*dir, fs.Args(), analyzers.All())
+	selected, err := analysis.SelectAnalyzers(analyzers.All(), *only, *skip)
+	if err != nil {
+		fmt.Fprintf(stderr, "turboflux-vet: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.Run(*dir, fs.Args(), selected)
 	if err != nil {
 		fmt.Fprintf(stderr, "turboflux-vet: %v\n", err)
 		return 2
@@ -61,11 +78,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, d := range diags {
 		rep.Findings = append(rep.Findings, finding{
 			Analyzer: d.Analyzer,
+			Severity: string(d.Severity),
 			File:     displayPath(*dir, d.Position.Filename),
 			Line:     d.Position.Line,
 			Col:      d.Position.Column,
 			Message:  d.Message,
 		})
+		if d.Severity == analysis.SeverityWarn {
+			rep.Warnings++
+		} else {
+			rep.Errors++
+		}
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
@@ -79,10 +102,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "%s:%d: [%s] %s\n", f.File, f.Line, f.Analyzer, f.Message)
 		}
 	}
-	if rep.Count > 0 {
+	writeSummary(stderr, selected, diags, rep)
+	if rep.Errors > 0 {
 		return 1
 	}
 	return 0
+}
+
+// writeSummary renders the per-analyzer summary table. It goes to stderr
+// so it composes with -json on stdout; CI appends it to the step summary.
+func writeSummary(w io.Writer, selected []*analysis.Analyzer, diags []analysis.Diagnostic, rep report) {
+	fmt.Fprintf(w, "turboflux-vet: %d analyzers, %d findings (%d errors, %d warnings)\n",
+		len(selected), rep.Count, rep.Errors, rep.Warnings)
+	counts := make(map[string]int, len(selected))
+	for _, d := range diags {
+		counts[d.Analyzer]++
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "  analyzer\tseverity\tfindings\n")
+	for _, az := range selected {
+		sev := az.Severity
+		if sev == "" {
+			sev = analysis.SeverityError
+		}
+		fmt.Fprintf(tw, "  %s\t%s\t%d\n", az.Name, sev, counts[az.Name])
+	}
+	tw.Flush()
 }
 
 // displayPath renders filename relative to dir when possible.

@@ -74,7 +74,14 @@ func run(graphPath, queryPath, pattern, streamPath, dataDir, fsync string, iso, 
 	var interrupted atomic.Bool
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
-	defer signal.Stop(sigCh)
+	// Stop then close so the watcher goroutine exits with the run instead
+	// of leaking: after Stop the runtime no longer sends on sigCh, so
+	// closing it is safe and unblocks the receive.
+	defer func() {
+		signal.Stop(sigCh)
+		close(sigCh)
+	}()
+	//tf:goroutine signal-watcher
 	go func() {
 		if sig, ok := <-sigCh; ok {
 			interrupted.Store(true)

@@ -48,7 +48,10 @@ type DurableMultiOptions struct {
 // own their query registrations.
 //
 // DurableMultiEngine is not safe for concurrent use, matching MultiEngine;
-// the server serializes access through its engine-owner goroutine.
+// the server serializes access through its engine-owner goroutine
+// (machine-checked by turboflux-vet's actor-confinement analyzer).
+//
+//tf:actor-owned
 type DurableMultiEngine struct {
 	store *durable.Store
 	m     *MultiEngine

@@ -24,6 +24,12 @@
 //	//tf:alloc-ok       this allocation in a hot path is deliberate
 //	//tf:eval-path      function is an extra eval-readonly root (opt-in check)
 //	//tf:graph-write    coordinator-only code exempt from eval-readonly
+//	//tf:actor-owned    type whose methods only the engine-owner actor may call
+//	//tf:actor-loop     function is an actor-goroutine root (opt-in check)
+//	//tf:actor-ok       deliberate owned-type access outside the actor
+//	//tf:goroutine      names a go statement (required outside tests)
+//	//tf:unbuffered-ok  deliberate unbuffered channel on the serving path
+//	//tf:lock-ok        deliberate banned call inside a critical section
 package analysis
 
 import (
@@ -34,14 +40,35 @@ import (
 	"sort"
 )
 
+// Severity classifies an analyzer's findings. Errors are contract
+// violations that fail CI; warnings are discipline findings that are
+// reported but not fatal.
+type Severity string
+
+const (
+	SeverityError Severity = "error"
+	SeverityWarn  Severity = "warn"
+)
+
 // Analyzer is one named invariant check.
 type Analyzer struct {
 	// Name identifies the analyzer in diagnostics, e.g. "oracle-isolation".
 	Name string
 	// Doc is a one-line description of the invariant the analyzer guards.
 	Doc string
+	// Severity classifies every finding the analyzer reports; the zero
+	// value means SeverityError.
+	Severity Severity
 	// Run analyzes one package and reports findings through the pass.
 	Run func(*Pass) error
+}
+
+// severity returns the analyzer's effective severity.
+func (a *Analyzer) severity() Severity {
+	if a.Severity == "" {
+		return SeverityError
+	}
+	return a.Severity
 }
 
 // Pass carries one analyzer's view of one type-checked package.
@@ -61,6 +88,7 @@ type Pass struct {
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
+		Severity: p.Analyzer.severity(),
 		Position: p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
@@ -117,6 +145,7 @@ func (p *Pass) TypeInPackages(t types.Type, rels ...string) (*types.Named, bool)
 // Diagnostic is one finding.
 type Diagnostic struct {
 	Analyzer string
+	Severity Severity
 	Position token.Position
 	Message  string
 }

@@ -1,0 +1,228 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"turboflux/internal/analysis"
+)
+
+// actorOwnedRootTypes are the root-package engine types whose access the
+// server serializes through its engine-owner goroutine (DESIGN.md §10).
+// Their declarations must carry //tf:actor-owned so the contract is
+// visible at the definition site; the confinement proof below treats them
+// as owned whether or not the directive is present.
+var actorOwnedRootTypes = map[string]bool{
+	"MultiEngine":        true,
+	"Engine":             true,
+	"DurableMultiEngine": true,
+}
+
+// ActorConfinement proves the engine-owner actor discipline: inside
+// internal/server, methods of actor-owned types (the engine surface) may
+// only be called from functions reachable — through same-package calls —
+// from an //tf:actor-loop root (the actor goroutine). A conn or
+// subscriber handler touching the engine directly would race the actor;
+// //tf:actor-ok on the call line exempts deliberate pre-start or
+// immutable-state access. In the root package it additionally checks that
+// every engine type's declaration carries //tf:actor-owned.
+var ActorConfinement = &analysis.Analyzer{
+	Name: "actor-confinement",
+	Doc:  "engine access in internal/server must stay on the actor goroutine (//tf:actor-loop roots)",
+	Run:  runActorConfinement,
+}
+
+func runActorConfinement(pass *analysis.Pass) error {
+	switch pass.RelPath() {
+	case "":
+		checkOwnedDirectives(pass)
+		return nil
+	case "internal/server":
+		return checkConfinement(pass)
+	default:
+		return nil
+	}
+}
+
+// checkOwnedDirectives reports root-package engine types whose
+// declarations are missing the //tf:actor-owned directive.
+func checkOwnedDirectives(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		ann := pass.Annotations(file)
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !actorOwnedRootTypes[ts.Name.Name] {
+					continue
+				}
+				if ann.DeclAnnotated(gd.Doc, gd.Pos(), "actor-owned") ||
+					ann.DeclAnnotated(ts.Doc, ts.Pos(), "actor-owned") {
+					continue
+				}
+				pass.Reportf(ts.Pos(),
+					"type %s is actor-owned (the server serializes all access through the engine-owner goroutine) but its declaration lacks //tf:actor-owned",
+					ts.Name.Name)
+			}
+		}
+	}
+}
+
+// checkConfinement runs the call-graph proof over internal/server.
+func checkConfinement(pass *analysis.Pass) error {
+	// Owned types visible here: the hardcoded root-package engine types
+	// plus any type declared in this package with //tf:actor-owned (the
+	// engineHost interface, so interface-mediated calls are caught too).
+	ownedLocal := map[*types.TypeName]bool{}
+	for _, file := range pass.Pkg.Files {
+		ann := pass.Annotations(file)
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if !ann.DeclAnnotated(gd.Doc, gd.Pos(), "actor-owned") &&
+					!ann.DeclAnnotated(ts.Doc, ts.Pos(), "actor-owned") {
+					continue
+				}
+				if tn, ok := pass.Pkg.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					ownedLocal[tn] = true
+				}
+			}
+		}
+	}
+
+	type ownedCall struct {
+		call     *ast.CallExpr
+		method   string
+		typeName string
+	}
+	type confInfo struct {
+		decl    *ast.FuncDecl
+		file    *ast.File
+		callees []*types.Func
+		owned   []ownedCall
+	}
+
+	decls := map[*types.Func]*confInfo{}
+	var order []*types.Func
+	for _, file := range pass.Pkg.Files {
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.Pkg.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &confInfo{decl: fn, file: file}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					// Plain function calls cannot be owned-type methods;
+					// record same-package callees for the BFS.
+					if id, ok := call.Fun.(*ast.Ident); ok {
+						if f, ok := pass.Pkg.TypesInfo.Uses[id].(*types.Func); ok && f.Pkg() == pass.Pkg.Types {
+							info.callees = append(info.callees, f)
+						}
+					}
+					return true
+				}
+				f, ok := pass.Pkg.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok {
+					return true
+				}
+				if tn, ok := ownedReceiver(pass, f, ownedLocal); ok {
+					info.owned = append(info.owned, ownedCall{call: call, method: f.Name(), typeName: tn})
+				} else if f.Pkg() == pass.Pkg.Types {
+					info.callees = append(info.callees, f)
+				}
+				return true
+			})
+			decls[obj] = info
+			order = append(order, obj)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return decls[order[i]].decl.Pos() < decls[order[j]].decl.Pos()
+	})
+
+	// BFS the same-package call graph from the //tf:actor-loop roots.
+	reachable := map[*types.Func]bool{}
+	var queue []*types.Func
+	for _, obj := range order {
+		info := decls[obj]
+		if pass.Annotations(info.file).FuncAnnotated(info.decl, "actor-loop") {
+			reachable[obj] = true
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		for _, callee := range decls[obj].callees {
+			if reachable[callee] || decls[callee] == nil {
+				continue
+			}
+			reachable[callee] = true
+			queue = append(queue, callee)
+		}
+	}
+
+	for _, obj := range order {
+		if reachable[obj] {
+			continue
+		}
+		info := decls[obj]
+		ann := pass.Annotations(info.file)
+		for _, oc := range info.owned {
+			if ann.At(oc.call.Pos(), "actor-ok") {
+				continue
+			}
+			pass.Reportf(oc.call.Fun.Pos(),
+				"%s.%s called in %s, which no //tf:actor-loop root reaches: only the engine-owner goroutine may touch actor-owned types — route the call through the actor's request channel (//tf:actor-ok exempts pre-start or immutable-state access)",
+				oc.typeName, oc.method, declName(info.decl))
+		}
+	}
+	return nil
+}
+
+// ownedReceiver reports whether f is a method of an actor-owned type: a
+// root-package engine type or a locally //tf:actor-owned-annotated type
+// (including interfaces, so calls through the engine-surface interface
+// count). It returns the owned type's name.
+func ownedReceiver(pass *analysis.Pass, f *types.Func, ownedLocal map[*types.TypeName]bool) (string, bool) {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", false
+	}
+	if ownedLocal[named.Obj()] {
+		return named.Obj().Name(), true
+	}
+	if _, inRoot := pass.TypeInPackages(named, ""); inRoot && actorOwnedRootTypes[named.Obj().Name()] {
+		return named.Obj().Name(), true
+	}
+	return "", false
+}

@@ -1,6 +1,7 @@
-// Package analyzers holds the turboflux-vet analyzer suite: six checks
-// that machine-enforce TurboFlux invariants the compiler cannot see. See
-// DESIGN.md, "Enforced invariants", for the invariant each check guards
+// Package analyzers holds the turboflux-vet analyzer suite: ten checks
+// that machine-enforce TurboFlux invariants the compiler cannot see —
+// six data-flow invariants (DESIGN.md §8) and four concurrency contracts
+// (DESIGN.md §13). See those sections for the invariant each check guards
 // and the suppression annotations it honors.
 package analyzers
 
@@ -20,6 +21,10 @@ func All() []*analysis.Analyzer {
 		EvalReadonly,
 		HotpathAlloc,
 		UncheckedError,
+		ActorConfinement,
+		GoroutineLifecycle,
+		ChannelDiscipline,
+		LockScope,
 	}
 }
 

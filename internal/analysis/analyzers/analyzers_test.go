@@ -1,6 +1,7 @@
 package analyzers
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -9,6 +10,12 @@ import (
 
 	"turboflux/internal/analysis"
 )
+
+// update rewrites every fixture's want.txt from the current analyzer
+// output instead of comparing: go test ./internal/analysis/... -update.
+// CI runs the test without -update, so drift between the analyzers and
+// the checked-in goldens fails the build.
+var update = flag.Bool("update", false, "rewrite golden want.txt files")
 
 // TestGolden runs the full analyzer suite over every fixture module under
 // testdata/src and compares the formatted diagnostics against the module's
@@ -42,7 +49,14 @@ func TestGolden(t *testing.T) {
 				fmt.Fprintf(&got, "%s:%d: [%s] %s\n",
 					filepath.ToSlash(rel), d.Position.Line, d.Analyzer, d.Message)
 			}
-			want, err := os.ReadFile(filepath.Join(dir, "want.txt"))
+			goldenPath := filepath.Join(dir, "want.txt")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got.String()), 0o644); err != nil {
+					t.Fatalf("rewriting golden file: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
 			if err != nil {
 				t.Fatalf("reading golden file: %v", err)
 			}

@@ -1,0 +1,28 @@
+// Package turboflux is the actor-confinement fixture's root package: one
+// engine type carrying the required //tf:actor-owned directive and one
+// missing it (finding).
+package turboflux
+
+// MultiEngine is the fixture engine; not safe for concurrent use.
+//
+//tf:actor-owned
+type MultiEngine struct {
+	n int
+}
+
+// Apply mutates the engine.
+func (m *MultiEngine) Apply(x int) int {
+	m.n += x
+	return m.n
+}
+
+// Engine is missing the //tf:actor-owned directive.
+type Engine struct {
+	n int
+}
+
+// Apply mutates the engine.
+func (e *Engine) Apply(x int) int {
+	e.n += x
+	return e.n
+}

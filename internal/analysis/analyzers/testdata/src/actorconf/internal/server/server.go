@@ -1,0 +1,52 @@
+// Package server is the actor-confinement fixture: an actor loop that
+// legitimately drives the owned engine, a bypass from a non-actor
+// function (finding), and a suppressed deliberate access.
+package server
+
+import "turboflux"
+
+// host is the engine surface the actor drives.
+//
+//tf:actor-owned
+type host interface {
+	Apply(x int) int
+}
+
+type actor struct {
+	m *turboflux.MultiEngine
+	h host
+	n int
+}
+
+// run is the engine-owner loop; everything it reaches may touch the
+// engine.
+//
+//tf:actor-loop
+func (a *actor) run(xs []int) {
+	for _, x := range xs {
+		a.handle(x)
+	}
+}
+
+// handle runs on the actor goroutine: owned-type calls here are fine.
+func (a *actor) handle(x int) {
+	a.n = a.m.Apply(x)
+	a.n = a.h.Apply(x)
+}
+
+// stats is called from connection goroutines; reading the engine here
+// races the actor.
+func (a *actor) stats() int {
+	return a.m.Apply(0)
+}
+
+// pump is a subscriber-side helper; the interface call still reaches the
+// owned engine.
+func pump(h host) int {
+	return h.Apply(1)
+}
+
+// snapshot is a deliberate pre-start access, suppressed.
+func snapshot(m *turboflux.MultiEngine) int {
+	return m.Apply(0) //tf:actor-ok fixture: construction precedes actor start
+}

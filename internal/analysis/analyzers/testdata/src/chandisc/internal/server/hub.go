@@ -1,0 +1,30 @@
+// Package server is the channel-discipline fixture: serving-path
+// channels must carry an explicit capacity. Unbuffered data channels are
+// findings; struct{} signal channels, annotated rendezvous channels and
+// buffered channels are fine.
+package server
+
+type event struct {
+	n int
+}
+
+type hub struct {
+	events chan event
+	acks   chan int
+	burst  chan event
+	stop   chan struct{}
+}
+
+func newHub(depth int) *hub {
+	return &hub{
+		events: make(chan event),
+		acks:   make(chan int, 0),
+		burst:  make(chan event, depth),
+		stop:   make(chan struct{}),
+	}
+}
+
+// control returns a deliberate rendezvous channel, suppressed.
+func control() chan event {
+	return make(chan event) //tf:unbuffered-ok fixture: synchronous handshake
+}

@@ -1,0 +1,62 @@
+// Package pool is the goroutine-lifecycle fixture: tracked launches
+// (WaitGroup pairing, range-close, stop-receive), a naked goroutine and
+// an annotated-but-untracked goroutine (findings).
+package pool
+
+import "sync"
+
+// Pool launches one worker per shutdown style.
+type Pool struct {
+	ch   chan func()
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts the pool's goroutines.
+func New() *Pool {
+	p := &Pool{ch: make(chan func(), 8), done: make(chan struct{})}
+	//tf:goroutine pool-worker
+	go p.worker()
+	p.wg.Add(1)
+	//tf:goroutine pool-waiter
+	go func() {
+		defer p.wg.Done()
+		<-p.done
+	}()
+	go p.tick()
+	//tf:goroutine pool-spinner
+	go spin()
+	return p
+}
+
+// worker drains the task channel until Close closes it.
+func (p *Pool) worker() {
+	for fn := range p.ch {
+		fn()
+	}
+}
+
+// tick never observes shutdown; nothing in the package can join it.
+func (p *Pool) tick() {
+	for {
+		select {
+		case fn := <-p.pending():
+			fn()
+		}
+	}
+}
+
+func (p *Pool) pending() chan func() { return nil }
+
+// spin is annotated but has no shutdown path either.
+func spin() {
+	for {
+	}
+}
+
+// Close stops the tracked goroutines.
+func (p *Pool) Close() {
+	close(p.ch)
+	close(p.done)
+	p.wg.Wait()
+}

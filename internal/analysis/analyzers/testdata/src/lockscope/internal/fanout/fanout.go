@@ -1,0 +1,12 @@
+// Package fanout is the lock-scope fixture's worker-pool stand-in.
+package fanout
+
+// Pool runs tasks.
+type Pool struct{}
+
+// Run executes every task.
+func (p *Pool) Run(tasks []func()) {
+	for _, fn := range tasks {
+		fn()
+	}
+}

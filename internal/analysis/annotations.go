@@ -62,12 +62,20 @@ func (a *Annotations) onLine(line int, name string) bool {
 // FuncAnnotated reports whether fn carries the directive: anywhere in its
 // doc comment, or line-attached to the func keyword.
 func (a *Annotations) FuncAnnotated(fn *ast.FuncDecl, name string) bool {
-	if fn.Doc != nil {
-		for _, c := range fn.Doc.List {
+	return a.DeclAnnotated(fn.Doc, fn.Pos(), name)
+}
+
+// DeclAnnotated reports whether a declaration carries the directive:
+// anywhere in the given doc comment, or line-attached at pos. For type
+// declarations pass both the GenDecl's and the TypeSpec's doc comments
+// (gofmt attaches a single-spec doc to the GenDecl).
+func (a *Annotations) DeclAnnotated(doc *ast.CommentGroup, pos token.Pos, name string) bool {
+	if doc != nil {
+		for _, c := range doc.List {
 			if n, ok := directiveName(c.Text); ok && n == name {
 				return true
 			}
 		}
 	}
-	return a.At(fn.Pos(), name)
+	return a.At(pos, name)
 }

@@ -92,6 +92,53 @@ func hasGoFiles(dir string) bool {
 	return false
 }
 
+// SelectAnalyzers filters all by comma-separated analyzer-name lists:
+// only ("" = no restriction) keeps the named analyzers, skip then removes
+// its names. Unknown names are an error, so a typo cannot silently
+// disable a check.
+func SelectAnalyzers(all []*Analyzer, only, skip string) ([]*Analyzer, error) {
+	byName := make(map[string]bool, len(all))
+	for _, az := range all {
+		byName[az.Name] = true
+	}
+	parse := func(list, flagName string) (map[string]bool, error) {
+		if list == "" {
+			return nil, nil
+		}
+		set := make(map[string]bool)
+		for _, name := range strings.Split(list, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			if !byName[name] {
+				return nil, fmt.Errorf("analysis: -%s: unknown analyzer %q", flagName, name)
+			}
+			set[name] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse(only, "only")
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse(skip, "skip")
+	if err != nil {
+		return nil, err
+	}
+	var out []*Analyzer
+	for _, az := range all {
+		if onlySet != nil && !onlySet[az.Name] {
+			continue
+		}
+		if skipSet[az.Name] {
+			continue
+		}
+		out = append(out, az)
+	}
+	return out, nil
+}
+
 // Run loads every package selected by patterns (resolved relative to dir,
 // whose enclosing module becomes the analysis root) and applies each
 // analyzer to each package. Diagnostics come back sorted; an error means

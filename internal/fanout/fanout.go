@@ -106,8 +106,9 @@ func (p *Pool) Run(tasks []func()) {
 			inline = true
 		case !p.started:
 			p.started = true
-			p.ch = make(chan task)
+			p.ch = make(chan task) //tf:unbuffered-ok rendezvous handoff; the batch barrier bounds outstanding tasks
 			for i := 0; i < p.workers; i++ {
+				//tf:goroutine fanout-worker
 				go p.worker(i)
 			}
 		}

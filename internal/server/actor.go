@@ -15,7 +15,10 @@ import (
 )
 
 // engineHost is the engine surface the actor drives; *turboflux.MultiEngine
-// and *turboflux.DurableMultiEngine both provide it.
+// and *turboflux.DurableMultiEngine both provide it. Only functions
+// reachable from the actor loop may call through it (actor-confinement).
+//
+//tf:actor-owned
 type engineHost interface {
 	Register(name string, q *turboflux.Query, opt turboflux.Options) error
 	Unregister(name string) bool
@@ -127,9 +130,12 @@ func newActor(host engineHost, durable *turboflux.DurableMultiEngine, vdict, edi
 	return a
 }
 
-// run is the actor loop. Everything that touches the engine happens here.
+// run is the actor loop. Everything that touches the engine happens here:
+// it is the confinement root the actor-confinement analyzer proves every
+// owned-type access reachable from.
 //
 //tf:hotpath
+//tf:actor-loop
 func (a *actor) run() {
 	for {
 		select {

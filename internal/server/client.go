@@ -82,11 +82,12 @@ func DialBuffered(addr string, eventBuf int) (*Client, error) {
 	c := &Client{
 		nc:     nc,
 		bw:     bufio.NewWriter(nc),
-		resp:   make(chan respMsg),
+		resp:   make(chan respMsg), //tf:unbuffered-ok request/response rendezvous; one exchange in flight by design
 		events: make(chan Event, eventBuf),
 		done:   make(chan struct{}),
 		dead:   make(chan struct{}),
 	}
+	//tf:goroutine client-read-loop
 	go c.readLoop()
 	return c, nil
 }

@@ -270,6 +270,7 @@ func (c *conn) subscribe(name string) bool {
 	}
 	c.subs[name] = sub
 	c.pumps.Add(1)
+	//tf:goroutine sub-pump
 	go c.pump(sub)
 	return c.writeLine(fmt.Sprintf("+OK %d", resp.seq)) == nil
 }

@@ -107,8 +107,8 @@ func New(opt Options) (*Server, error) {
 		}
 		durable = d
 		host = d
-		vdict = d.VertexLabels()
-		edict = d.EdgeLabels()
+		vdict = d.VertexLabels() //tf:actor-ok construction precedes actor start
+		edict = d.EdgeLabels()   //tf:actor-ok construction precedes actor start
 	} else {
 		if vdict == nil {
 			vdict = turboflux.NewDict()
@@ -121,7 +121,7 @@ func New(opt Options) (*Server, error) {
 			u.Apply(g)
 		}
 		m := turboflux.NewMultiEngine(g)
-		m.SetFanOutWorkers(opt.FanOutWorkers)
+		m.SetFanOutWorkers(opt.FanOutWorkers) //tf:actor-ok construction precedes actor start
 		host = m
 	}
 	s := &Server{
@@ -131,6 +131,7 @@ func New(opt Options) (*Server, error) {
 		stopping: make(chan struct{}),
 	}
 	s.actor = newActor(host, durable, vdict, edict, opt.Slow, opt.QueueDepth, &s.connCount)
+	//tf:goroutine engine-owner-actor
 	go s.actor.run()
 	return s, nil
 }
@@ -141,7 +142,7 @@ func (s *Server) Recovery() turboflux.RecoveryInfo {
 	if s.actor.durable == nil {
 		return turboflux.RecoveryInfo{}
 	}
-	return s.actor.durable.Recovery()
+	return s.actor.durable.Recovery() //tf:actor-ok recovery info is immutable after open
 }
 
 // Listen binds the TCP address ("host:port"; ":0" picks a free port).
@@ -192,6 +193,7 @@ func (s *Server) Serve() error {
 		s.mu.Unlock()
 		s.connCount.Add(1)
 		s.connWG.Add(1)
+		//tf:goroutine conn-reader
 		go func() {
 			defer s.connWG.Done()
 			c.serve()
@@ -205,6 +207,19 @@ func (s *Server) ListenAndServe(addr string) error {
 		return err
 	}
 	return s.Serve()
+}
+
+// snapshotConns copies the live connection set under s.mu so callers can
+// touch the sockets without holding the lock.
+func (s *Server) snapshotConns() []*conn {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	conns := make([]*conn, 0, len(s.conns))
+	//tf:unordered-ok snapshot; callers' per-conn operations are order-independent
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	return conns
 }
 
 func (s *Server) removeConn(c *conn) {
@@ -228,14 +243,15 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.ln != nil {
 		s.ln.Close() //tf:unchecked-ok shutting down
 	}
-	s.mu.Lock()
-	//tf:unordered-ok waking readers; order is irrelevant
-	for c := range s.conns {
+	// Snapshot the live connections and do the socket calls outside s.mu:
+	// a deadline or close syscall under the lock would stall every conn
+	// teardown (removeConn) behind it (lock-scope).
+	for _, c := range s.snapshotConns() {
 		c.nc.SetReadDeadline(time.Now()) //tf:unchecked-ok best-effort wake
 	}
-	s.mu.Unlock()
 
 	connsDone := make(chan struct{})
+	//tf:goroutine shutdown-conn-waiter
 	go func() {
 		s.connWG.Wait()
 		close(connsDone)
@@ -245,12 +261,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-connsDone:
 	case <-ctx.Done():
 		ctxErr = ctx.Err()
-		s.mu.Lock()
-		//tf:unordered-ok force-closing; order is irrelevant
-		for c := range s.conns {
+		for _, c := range s.snapshotConns() {
 			c.nc.Close() //tf:unchecked-ok force close
 		}
-		s.mu.Unlock()
 		<-connsDone
 	}
 

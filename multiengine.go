@@ -61,7 +61,12 @@ type mslot struct {
 // evaluation. Engines whose queries cannot mention the updated edge's
 // label are skipped entirely (their evaluation is a structural no-op).
 //
-// MultiEngine is not safe for concurrent use, matching Engine.
+// MultiEngine is not safe for concurrent use, matching Engine. The
+// network server serializes all access through its engine-owner
+// goroutine (machine-checked by turboflux-vet's actor-confinement
+// analyzer).
+//
+//tf:actor-owned
 type MultiEngine struct {
 	g     *Graph
 	slots map[string]*mslot

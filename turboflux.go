@@ -151,7 +151,12 @@ type Options struct {
 // query's name.
 var ErrWorkBudget = core.ErrWorkBudget
 
-// Engine is a continuous subgraph matching instance.
+// Engine is a continuous subgraph matching instance. It is not safe for
+// concurrent use; concurrent callers must serialize access, as the
+// network server does through its engine-owner goroutine
+// (machine-checked by turboflux-vet's actor-confinement analyzer).
+//
+//tf:actor-owned
 type Engine struct {
 	inner *core.Engine
 }
