@@ -34,6 +34,8 @@ func main() {
 	batchOut := flag.String("batch-out", "BENCH_batch.json", "report path for -exp batch")
 	batchUpdates := flag.Int("batch-updates", 50000, "updates per grid cell for -exp batch")
 	batchRecords := flag.Int("batch-records", 200000, "WAL record count for the -exp batch recovery row")
+	replicaOut := flag.String("replica-out", "BENCH_replica.json", "report path for -exp replica")
+	replicaSamples := flag.Int("replica-samples", 500, "delivery samples per grid cell for -exp replica")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this path")
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "LSBench scale factor (#users)")
 	flag.IntVar(&cfg.Hosts, "hosts", cfg.Hosts, "Netflow host count")
@@ -69,6 +71,7 @@ func main() {
 		fmt.Println("serve")
 		fmt.Println("fanout")
 		fmt.Println("batch")
+		fmt.Println("replica")
 		return
 	}
 	if *exp == "" {
@@ -109,6 +112,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stdout, "\n[batch completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *exp == "replica" {
+		start := time.Now()
+		if err := runReplica(*replicaOut, *replicaSamples); err != nil {
+			fmt.Fprintln(os.Stderr, "turboflux-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "\n[replica completed in %s]\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	start := time.Now()

@@ -8,6 +8,7 @@
 //	turboflux-serve -addr :7687 [-data-dir state/] [-fsync interval]
 //	               [-queue 256] [-slow block|drop|evict]
 //	               [-graph g0.txt] [-numeric-labels]
+//	               [-follow leader:7687]
 //
 // With -data-dir every accepted update is journaled to a checksummed
 // write-ahead log before it is evaluated or acknowledged, and a restarted
@@ -15,6 +16,12 @@
 // re-register after a restart). SIGINT/SIGTERM trigger a graceful
 // shutdown: the listener closes, in-flight requests finish, subscriber
 // queues flush, and the store closes with no torn tail.
+//
+// With -follow the server starts as a read-only follower replicating the
+// leader's write-ahead log (requires -data-dir): it catches up from a
+// snapshot and/or log tail, journals every replicated update into its own
+// WAL, serves queries and subscriptions locally, and rejects writes until
+// a client sends PROMOTE.
 package main
 
 import (
@@ -41,15 +48,16 @@ func main() {
 	numeric := flag.Bool("numeric-labels", false, "pre-intern labels 0..255 so numeric label names map to themselves")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain timeout before connections are force-closed")
 	workers := flag.Int("fanout-workers", 0, "multi-query fan-out worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	follow := flag.String("follow", "", "follower mode: replicate from the leader at this address (requires -data-dir)")
 	flag.Parse()
 
-	if err := run(*addr, *dataDir, *fsync, *graphPath, *slow, *queue, *workers, *numeric, *drain); err != nil {
+	if err := run(*addr, *dataDir, *fsync, *graphPath, *slow, *follow, *queue, *workers, *numeric, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "turboflux-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir, fsync, graphPath, slow string, queue, workers int, numeric bool, drain time.Duration) error {
+func run(addr, dataDir, fsync, graphPath, slow, follow string, queue, workers int, numeric bool, drain time.Duration) error {
 	policy, err := server.ParseSlowPolicy(slow)
 	if err != nil {
 		return err
@@ -60,6 +68,7 @@ func run(addr, dataDir, fsync, graphPath, slow string, queue, workers int, numer
 		DataDir:       dataDir,
 		Fsync:         fsync,
 		FanOutWorkers: workers,
+		Follow:        follow,
 	}
 	if numeric {
 		opt.VertexLabels = numericDict()
@@ -92,6 +101,9 @@ func run(addr, dataDir, fsync, graphPath, slow string, queue, workers int, numer
 			fmt.Fprintln(os.Stderr, "turboflux-serve: shutdown:", shutdownErr)
 		}
 		return err
+	}
+	if follow != "" {
+		fmt.Printf("# following leader at %s\n", follow)
 	}
 	fmt.Printf("# serving on %s (policy=%s queue=%d)\n", srv.Addr(), policy, queue)
 

@@ -1,6 +1,7 @@
 package turboflux
 
 import (
+	"fmt"
 	"time"
 
 	"turboflux/internal/durable"
@@ -195,6 +196,32 @@ func (d *DurableMultiEngine) Close() error {
 
 // LSN returns the log position of the last journaled update.
 func (d *DurableMultiEngine) LSN() uint64 { return d.store.LSN() }
+
+// Store exposes the underlying durable store for replication plumbing
+// (append taps, catch-up plans, snapshot access). Callers must respect
+// the engine's single-threaded discipline.
+func (d *DurableMultiEngine) Store() *durable.Store { return d.store }
+
+// Reseed adopts a leader snapshot as this engine's entire state: the
+// store re-points to the snapshot's graph and dictionaries (persisting
+// the snapshot so restarts recover from it) and the MultiEngine is
+// rebuilt over the new graph. Only a fresh engine may be reseeded — the
+// store must hold no journaled history and no query may be registered,
+// since registrations would silently lose their DCGs in the swap.
+func (d *DurableMultiEngine) Reseed(data []byte) error {
+	if n := len(d.m.Queries()); n > 0 {
+		return fmt.Errorf("turboflux: cannot reseed with %d registered queries; register queries after seeding", n)
+	}
+	if err := d.store.SeedFromSnapshot(data); err != nil {
+		return err
+	}
+	workers := d.m.FanOutWorkers()
+	d.m.Close() //tf:unchecked-ok pool release never fails
+	m := NewMultiEngine(d.store.Graph())
+	m.SetFanOutWorkers(workers)
+	d.m = m
+	return nil
+}
 
 // Graph returns the shared data graph. Treat it as read-only.
 func (d *DurableMultiEngine) Graph() *Graph { return d.m.Graph() }

@@ -11,12 +11,15 @@ import (
 // emission path, where every queue must have an explicit bound: the root
 // package hosts the engines the server drives, internal/server fans match
 // events out to subscribers over bounded queues, internal/fanout moves
-// evaluation tasks between the coordinator and the worker pool, and
-// cmd/turboflux-serve wires the serving loop together.
+// evaluation tasks between the coordinator and the worker pool,
+// internal/replica queues live WAL chunks between the engine-owner actor
+// and per-follower stream pumps, and cmd/turboflux-serve wires the
+// serving loop together.
 var servingScope = map[string]bool{
 	"":                    true,
 	"internal/server":     true,
 	"internal/fanout":     true,
+	"internal/replica":    true,
 	"cmd/turboflux-serve": true,
 }
 

@@ -120,41 +120,48 @@ func loadSnapshot(path string) (lsn uint64, g *graph.Graph, vdict, edict *graph.
 	if err != nil {
 		return 0, nil, nil, nil, err
 	}
+	return decodeSnapshot(data, filepath.Base(path))
+}
+
+// decodeSnapshot verifies and decodes a serialized snapshot (the byte
+// contents of a snapshot file, whether read locally or shipped by a
+// replication leader). name labels errors.
+func decodeSnapshot(data []byte, name string) (lsn uint64, g *graph.Graph, vdict, edict *graph.Dict, err error) {
 	if len(data) < snapHeaderSize {
-		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s truncated header", filepath.Base(path))
+		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s truncated header", name)
 	}
 	header := data[:snapHeaderSize]
 	if crc32.Checksum(header[:25], castagnoli) != binary.LittleEndian.Uint32(header[25:]) {
-		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s header checksum mismatch", filepath.Base(path))
+		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s header checksum mismatch", name)
 	}
 	if string(header[:4]) != snapMagic {
-		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s bad magic", filepath.Base(path))
+		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s bad magic", name)
 	}
 	if header[4] != snapVersion {
-		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s unsupported version %d", filepath.Base(path), header[4])
+		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s unsupported version %d", name, header[4])
 	}
 	lsn = binary.LittleEndian.Uint64(header[5:])
 	payloadLen := binary.LittleEndian.Uint64(header[13:])
 	payload := data[snapHeaderSize:]
 	if uint64(len(payload)) != payloadLen {
 		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s payload is %d bytes, header says %d",
-			filepath.Base(path), len(payload), payloadLen)
+			name, len(payload), payloadLen)
 	}
 	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(header[21:]) {
-		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s payload checksum mismatch", filepath.Base(path))
+		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s payload checksum mismatch", name)
 	}
 	br := bufio.NewReader(bytes.NewReader(payload))
 	if vdict, err = graph.ReadDict(br); err != nil {
-		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s vertex dict: %w", filepath.Base(path), err)
+		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s vertex dict: %w", name, err)
 	}
 	if edict, err = graph.ReadDict(br); err != nil {
-		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s edge dict: %w", filepath.Base(path), err)
+		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s edge dict: %w", name, err)
 	}
 	if g, err = graph.ReadBinary(br); err != nil {
-		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s graph: %w", filepath.Base(path), err)
+		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s graph: %w", name, err)
 	}
 	if _, err := br.ReadByte(); err != io.EOF {
-		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s has trailing bytes", filepath.Base(path))
+		return 0, nil, nil, nil, fmt.Errorf("durable: snapshot %s has trailing bytes", name)
 	}
 	return lsn, g, vdict, edict, nil
 }

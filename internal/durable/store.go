@@ -74,6 +74,13 @@ type Store struct {
 	lsn     uint64 // LSN of the last record appended or recovered
 	snapLSN uint64 // covered LSN of the newest snapshot on disk
 	rec     RecoveryInfo
+
+	// tap, when set, observes every successful append (see SetTap).
+	tap Tap
+	// pins holds the active replication pins protecting segments and
+	// snapshots from Compact. Owned by the store's single-threaded caller,
+	// like every other field.
+	pins map[*Pin]struct{}
 }
 
 // Open recovers (or initializes) the store in dir: it loads the newest
@@ -97,7 +104,7 @@ func Open(dir string, opt Options) (*Store, error) {
 			edict = opt.EdgeLabels
 		}
 	}
-	s := &Store{dir: dir, opt: opt, g: g, vdict: vdict, edict: edict, snapLSN: snapLSN}
+	s := &Store{dir: dir, opt: opt, g: g, vdict: vdict, edict: edict, snapLSN: snapLSN, pins: make(map[*Pin]struct{})}
 	s.rec.SnapshotLSN = snapLSN
 
 	rb := opt.ReplayBatch
@@ -219,6 +226,9 @@ func (s *Store) Append(u stream.Update) (uint64, error) {
 		return 0, fmt.Errorf("durable: journaling %q: %w", u, err)
 	}
 	s.lsn = lsn
+	if s.tap != nil {
+		s.tap(lsn, lsn, s.w.buf)
+	}
 	return lsn, nil
 }
 
@@ -258,6 +268,9 @@ func (s *Store) AppendBatch(ups []stream.Update) (first, last uint64, err error)
 		return 0, 0, fmt.Errorf("durable: journaling batch of %d: %w", len(ups), err) //tf:alloc-ok error path
 	}
 	s.lsn = last
+	if s.tap != nil {
+		s.tap(first, last, s.w.buf)
+	}
 	return first, last, nil
 }
 
@@ -288,21 +301,30 @@ func (s *Store) Compact() error {
 		return err
 	}
 	s.snapLSN = s.lsn
+	pinAfter, pinnedSnaps, pinned := s.pinnedFloor()
 	// Retain the two newest snapshots so a corrupt newest one can still
-	// fall back to its predecessor with a full replay tail; drop the rest.
+	// fall back to its predecessor with a full replay tail; drop the rest,
+	// except snapshots an active replication catch-up stream is reading.
 	lsns, err := snapshotList(s.dir)
 	if err != nil {
 		return err
 	}
 	for _, l := range lsns[min(2, len(lsns)):] {
+		if pinnedSnaps[l] {
+			continue
+		}
 		if err := os.Remove(filepath.Join(s.dir, snapName(l))); err != nil && !errors.Is(err, os.ErrNotExist) {
 			return err
 		}
 	}
 	// Obsolete segments: those whose every record is covered by the oldest
 	// retained snapshot (a segment ends where the next one begins; the
-	// active segment always stays).
+	// active segment always stays). A replication pin lowers the floor:
+	// segments holding records a catch-up stream has yet to ship must stay.
 	floor := lsns[min(2, len(lsns))-1]
+	if pinned && pinAfter < floor {
+		floor = pinAfter
+	}
 	firsts, err := segmentList(s.dir)
 	if err != nil {
 		return err

@@ -1,0 +1,50 @@
+package replica
+
+import "turboflux/internal/durable"
+
+// Catch-up chunking targets: a chunk flushes once it holds this many
+// bytes or records, whichever comes first.
+const (
+	chunkTargetBytes   = 256 << 10
+	chunkTargetRecords = 4096
+)
+
+// ChunkSegments streams the sealed-segment tail of a catch-up plan as
+// bounded frame chunks: every record with LSN > after, in order, packed
+// into chunks of at most chunkTargetBytes/chunkTargetRecords. The chunk
+// passed to emit reuses one internal buffer — emit must finish with it
+// (write it to the socket) before returning. A decode error inside a
+// segment aborts the walk.
+func ChunkSegments(segs []durable.PlanSegment, after uint64, emit func(Chunk) error) error {
+	buf := make([]byte, 0, chunkTargetBytes+4096)
+	var first uint64
+	count := 0
+	flush := func() error {
+		if count == 0 {
+			return nil
+		}
+		err := emit(Chunk{First: first, Count: count, Data: buf})
+		buf = buf[:0]
+		count = 0
+		return err
+	}
+	applied := after
+	for _, seg := range segs {
+		err := durable.ReadSegmentFrames(seg.Path, seg.First, applied, func(lsn uint64, frame []byte) error {
+			if count == 0 {
+				first = lsn
+			}
+			buf = append(buf, frame...)
+			count++
+			applied = lsn
+			if len(buf) >= chunkTargetBytes || count >= chunkTargetRecords {
+				return flush()
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return flush()
+}

@@ -1,0 +1,154 @@
+package replica
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Wire keywords. Pushes start with '*' so a follower (or any client
+// library) can demultiplex them from command replies.
+const (
+	snapWord   = "*RSNAP"
+	framesWord = "*RFRAMES"
+	pingWord   = "*RPING"
+	ackWord    = "RACK"
+)
+
+// AppendSnapHeader appends the "*RSNAP <lsn> <nbytes>\n" header line; the
+// nbytes of snapshot payload follow it raw.
+func AppendSnapHeader(dst []byte, lsn uint64, nbytes int) []byte {
+	dst = append(dst, snapWord...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, lsn, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(nbytes), 10)
+	return append(dst, '\n')
+}
+
+// AppendFramesHeader appends the "*RFRAMES <first> <count> <nbytes>\n"
+// header line; the nbytes of CRC-framed records follow it raw.
+func AppendFramesHeader(dst []byte, first uint64, count, nbytes int) []byte {
+	dst = append(dst, framesWord...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, first, 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(count), 10)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(nbytes), 10)
+	return append(dst, '\n')
+}
+
+// AppendPing appends the "*RPING <lsn>\n" heartbeat line.
+func AppendPing(dst []byte, lsn uint64) []byte {
+	dst = append(dst, pingWord...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, lsn, 10)
+	return append(dst, '\n')
+}
+
+// AppendAck appends the follower's "RACK <appliedLSN>\n" line.
+func AppendAck(dst []byte, applied uint64) []byte {
+	dst = append(dst, ackWord...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, applied, 10)
+	return append(dst, '\n')
+}
+
+// ParseAck parses a follower's "RACK <appliedLSN>" line (no newline).
+func ParseAck(line string) (uint64, error) {
+	fields := strings.Fields(strings.TrimSuffix(line, "\r"))
+	if len(fields) != 2 || fields[0] != ackWord {
+		return 0, fmt.Errorf("replica: malformed ack %q", clip(line))
+	}
+	lsn, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("replica: bad ack LSN %q", clip(fields[1]))
+	}
+	return lsn, nil
+}
+
+// IsAck reports whether line is a RACK line (cheap check before ParseAck).
+func IsAck(line string) bool {
+	return strings.HasPrefix(line, ackWord) &&
+		(len(line) == len(ackWord) || line[len(ackWord)] == ' ')
+}
+
+// pushKind identifies a parsed leader push header.
+type pushKind uint8
+
+const (
+	pushSnap pushKind = iota + 1
+	pushFrames
+	pushPing
+)
+
+// push is one parsed leader push header. For pushSnap and pushFrames the
+// body (NBytes raw bytes) follows the header line on the wire.
+type push struct {
+	Kind   pushKind
+	LSN    uint64 // pushSnap: covered LSN; pushPing: leader LSN
+	First  uint64 // pushFrames: LSN of the first record
+	Count  int    // pushFrames: record count
+	NBytes int    // body length
+}
+
+// parsePush parses one leader push header line (no trailing newline).
+func parsePush(line string) (push, error) {
+	fields := strings.Fields(strings.TrimSuffix(line, "\r"))
+	if len(fields) == 0 {
+		return push{}, fmt.Errorf("replica: empty push line")
+	}
+	switch fields[0] {
+	case snapWord:
+		if len(fields) != 3 {
+			return push{}, fmt.Errorf("replica: malformed %s header %q", snapWord, clip(line))
+		}
+		lsn, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return push{}, fmt.Errorf("replica: bad %s LSN %q", snapWord, clip(fields[1]))
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n <= 0 || n > MaxSnapshotBytes {
+			return push{}, fmt.Errorf("replica: bad %s length %q", snapWord, clip(fields[2]))
+		}
+		return push{Kind: pushSnap, LSN: lsn, NBytes: n}, nil
+	case framesWord:
+		if len(fields) != 4 {
+			return push{}, fmt.Errorf("replica: malformed %s header %q", framesWord, clip(line))
+		}
+		first, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil || first == 0 {
+			return push{}, fmt.Errorf("replica: bad %s first LSN %q", framesWord, clip(fields[1]))
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil || count <= 0 || count > MaxChunkRecords {
+			return push{}, fmt.Errorf("replica: bad %s count %q", framesWord, clip(fields[2]))
+		}
+		n, err := strconv.Atoi(fields[3])
+		if err != nil || n <= 0 || n > MaxFramesBytes {
+			return push{}, fmt.Errorf("replica: bad %s length %q", framesWord, clip(fields[3]))
+		}
+		return push{Kind: pushFrames, First: first, Count: count, NBytes: n}, nil
+	case pingWord:
+		if len(fields) != 2 {
+			return push{}, fmt.Errorf("replica: malformed %s header %q", pingWord, clip(line))
+		}
+		lsn, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return push{}, fmt.Errorf("replica: bad %s LSN %q", pingWord, clip(fields[1]))
+		}
+		return push{Kind: pushPing, LSN: lsn}, nil
+	default:
+		return push{}, fmt.Errorf("replica: unknown push %q", clip(fields[0]))
+	}
+}
+
+// clip bounds wire-controlled text quoted into error messages.
+func clip(s string) string {
+	const n = 64
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

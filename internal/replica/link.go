@@ -1,0 +1,322 @@
+package replica
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"turboflux/internal/durable"
+)
+
+// State is the follower's view of its replication link, delivered through
+// Callbacks.Status whenever it changes.
+type State struct {
+	// Connected reports whether a replication session is live.
+	Connected bool
+	// AppliedLSN is the follower's last applied LSN.
+	AppliedLSN uint64
+	// LeaderLSN is the newest leader LSN the link has seen (handshake cut,
+	// shipped chunk, or ping). AppliedLSN lags it by the replication gap.
+	LeaderLSN uint64
+	// LastError describes why the previous session ended, when it ended
+	// in error.
+	LastError string
+}
+
+// Callbacks connect a Link to the follower's engine. Seed and Apply run
+// on the link's goroutine; the server wires them to engine-owner actor
+// calls so all engine access stays confined to the actor.
+type Callbacks struct {
+	// Applied returns the follower's current applied LSN; called at the
+	// start of every session to position the catch-up request.
+	Applied func() uint64
+	// Seed adopts a leader snapshot covering records 1..lsn as the
+	// follower's entire state, returning the new applied LSN.
+	Seed func(lsn uint64, data []byte) (uint64, error)
+	// Apply applies count CRC-framed records with LSNs first..first+count-1
+	// (first is always appliedLSN+1; the link strips duplicate prefixes),
+	// returning the new applied LSN.
+	Apply func(first uint64, count int, frames []byte) (uint64, error)
+	// Status, when non-nil, observes link state changes.
+	Status func(st State)
+}
+
+// Options tune a Link's timing.
+type Options struct {
+	// DialTimeout bounds one connection attempt (default 3s).
+	DialTimeout time.Duration
+	// ReadTimeout bounds one read from the leader; the leader pings when
+	// idle, so expiry means a dead peer (default 15s).
+	ReadTimeout time.Duration
+	// BackoffMin/BackoffMax bound the reconnect backoff (default
+	// 100ms..5s; doubles per failed attempt, resets on a successful
+	// handshake).
+	BackoffMin, BackoffMax time.Duration
+}
+
+func (o *Options) applyDefaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.ReadTimeout <= 0 {
+		o.ReadTimeout = 15 * time.Second
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 100 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = 5 * time.Second
+	}
+}
+
+// Link maintains a follower's replication session with its leader:
+// dial, REPLICATE handshake, stream application, and reconnect with
+// exponential backoff until Stop.
+type Link struct {
+	leader string
+	cb     Callbacks
+	opt    Options
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewLink builds a link to the leader at addr. Call Start to run it.
+func NewLink(addr string, cb Callbacks, opt Options) *Link {
+	opt.applyDefaults()
+	return &Link{
+		leader: addr,
+		cb:     cb,
+		opt:    opt,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the link's goroutine.
+func (l *Link) Start() {
+	//tf:goroutine replica-link
+	go l.run()
+}
+
+// Stop ends the link: the current session (if any) is torn down and no
+// reconnect follows. Blocks until the link goroutine has exited.
+// Idempotent.
+func (l *Link) Stop() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	<-l.done
+}
+
+// Done returns a channel closed when the link goroutine has exited.
+func (l *Link) Done() <-chan struct{} { return l.done }
+
+// run is the reconnect loop: each session streams until an error or
+// Stop, then the loop backs off and retries.
+func (l *Link) run() {
+	defer close(l.done)
+	backoff := l.opt.BackoffMin
+	for {
+		handshaken, err := l.session()
+		select {
+		case <-l.stop:
+			return
+		default:
+		}
+		st := State{Connected: false, AppliedLSN: l.cb.Applied()}
+		if err != nil {
+			st.LastError = err.Error()
+		}
+		l.status(st)
+		if handshaken {
+			backoff = l.opt.BackoffMin
+		}
+		select {
+		case <-l.stop:
+			return
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > l.opt.BackoffMax {
+			backoff = l.opt.BackoffMax
+		}
+	}
+}
+
+func (l *Link) status(st State) {
+	if l.cb.Status != nil {
+		l.cb.Status(st)
+	}
+}
+
+// session runs one replication session: dial, handshake, apply pushes
+// until the connection breaks or Stop closes it. handshaken reports
+// whether the REPLICATE handshake succeeded (resets the backoff).
+func (l *Link) session() (handshaken bool, err error) {
+	nc, err := net.DialTimeout("tcp", l.leader, l.opt.DialTimeout)
+	if err != nil {
+		return false, err
+	}
+	defer nc.Close() //tf:unchecked-ok session teardown
+
+	// Stop must interrupt a blocked read: close the socket when it fires.
+	sessionEnd := make(chan struct{})
+	defer close(sessionEnd)
+	//tf:goroutine replica-link-stopper
+	go func() {
+		select {
+		case <-l.stop:
+			nc.Close() //tf:unchecked-ok forced teardown
+		case <-sessionEnd:
+		}
+	}()
+
+	br := bufio.NewReaderSize(nc, 64*1024)
+	bw := bufio.NewWriterSize(nc, 4*1024)
+	applied := l.cb.Applied()
+	if _, err := fmt.Fprintf(bw, "REPLICATE %d\n", applied); err != nil {
+		return false, err
+	}
+	if err := bw.Flush(); err != nil {
+		return false, err
+	}
+	line, err := l.readLine(nc, br)
+	if err != nil {
+		return false, err
+	}
+	cut, err := parseHandshakeReply(line)
+	if err != nil {
+		return false, err
+	}
+	leaderLSN := cut
+	if applied > leaderLSN {
+		leaderLSN = applied
+	}
+	l.status(State{Connected: true, AppliedLSN: applied, LeaderLSN: leaderLSN})
+
+	var scratch []byte
+	ack := func() error {
+		scratch = AppendAck(scratch[:0], applied)
+		if _, err := bw.Write(scratch); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	for {
+		line, err := l.readLine(nc, br)
+		if err != nil {
+			return true, err
+		}
+		p, err := parsePush(line)
+		if err != nil {
+			return true, err
+		}
+		switch p.Kind {
+		case pushSnap:
+			body, err := l.readBody(nc, br, p.NBytes)
+			if err != nil {
+				return true, err
+			}
+			if applied, err = l.cb.Seed(p.LSN, body); err != nil {
+				return true, err
+			}
+			if p.LSN > leaderLSN {
+				leaderLSN = p.LSN
+			}
+			if err := ack(); err != nil {
+				return true, err
+			}
+		case pushFrames:
+			body, err := l.readBody(nc, br, p.NBytes)
+			if err != nil {
+				return true, err
+			}
+			first, count, frames := p.First, p.Count, body
+			// A reconnecting leader may re-send records the follower already
+			// applied; strip them (CRC-verifying each) so nothing applies
+			// twice.
+			for count > 0 && first <= applied {
+				if _, n, derr := durable.DecodeFrame(frames); derr != nil {
+					return true, derr
+				} else {
+					frames = frames[n:]
+				}
+				first++
+				count--
+			}
+			if count > 0 {
+				if first != applied+1 {
+					return true, fmt.Errorf("replica: stream gap: chunk starts at LSN %d, applied is %d", first, applied)
+				}
+				if applied, err = l.cb.Apply(first, count, frames); err != nil {
+					return true, err
+				}
+			}
+			if last := p.First + uint64(p.Count) - 1; last > leaderLSN {
+				leaderLSN = last
+			}
+			if err := ack(); err != nil {
+				return true, err
+			}
+			l.status(State{Connected: true, AppliedLSN: applied, LeaderLSN: leaderLSN})
+		case pushPing:
+			if p.LSN > leaderLSN {
+				leaderLSN = p.LSN
+			}
+			if err := ack(); err != nil {
+				return true, err
+			}
+			l.status(State{Connected: true, AppliedLSN: applied, LeaderLSN: leaderLSN})
+		}
+	}
+}
+
+// readLine reads one LF-terminated line under the read deadline.
+func (l *Link) readLine(nc net.Conn, br *bufio.Reader) (string, error) {
+	if err := nc.SetReadDeadline(time.Now().Add(l.opt.ReadTimeout)); err != nil {
+		return "", err
+	}
+	b, err := br.ReadSlice('\n')
+	if err != nil {
+		if err == bufio.ErrBufferFull {
+			return "", fmt.Errorf("replica: push header exceeds %d bytes", br.Size())
+		}
+		return "", err
+	}
+	return string(b[:len(b)-1]), nil
+}
+
+// readBody reads exactly n raw bytes under a deadline scaled to the body
+// size, so a large snapshot is not cut off by the idle timeout.
+func (l *Link) readBody(nc net.Conn, br *bufio.Reader, n int) ([]byte, error) {
+	timeout := l.opt.ReadTimeout + time.Duration(n/(1<<20))*time.Second
+	if err := nc.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, err
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	return body, nil
+}
+
+// parseHandshakeReply parses the leader's "+OK <cutLSN>" reply to
+// REPLICATE.
+func parseHandshakeReply(line string) (cut uint64, err error) {
+	fields := strings.Fields(strings.TrimSuffix(line, "\r"))
+	if len(fields) >= 1 && fields[0] == "-ERR" {
+		return 0, fmt.Errorf("replica: leader rejected handshake: %s", clip(strings.TrimPrefix(line, "-ERR ")))
+	}
+	if len(fields) != 2 || fields[0] != "+OK" {
+		return 0, fmt.Errorf("replica: malformed handshake reply %q", clip(line))
+	}
+	if cut, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+		return 0, fmt.Errorf("replica: bad handshake cut LSN %q", clip(fields[1]))
+	}
+	return cut, nil
+}

@@ -1,0 +1,62 @@
+// Package replica implements WAL-shipping replication for the TurboFlux
+// server: the wire codec shared by leader and follower, the leader-side
+// per-follower feed of live frame chunks, the catch-up chunker that
+// streams a durable.Plan's sealed segments, and the follower-side Link
+// that maintains the connection to the leader and applies what arrives.
+//
+// # Protocol
+//
+// A follower dials the leader's normal client port and sends
+//
+//	REPLICATE <appliedLSN>
+//
+// where appliedLSN is the LSN of the last record it has applied (0 for a
+// fresh replica). The leader replies "+OK <cutLSN>" and the connection
+// switches to replication mode: the leader pushes, the follower only
+// sends acknowledgments. Pushes are:
+//
+//	*RSNAP <lsn> <nbytes>      nbytes of snapshot follow; seed state
+//	                           covering records 1..lsn (fresh followers)
+//	*RFRAMES <first> <count> <nbytes>
+//	                           nbytes of CRC-framed WAL records follow:
+//	                           count records with LSNs first..first+count-1
+//	*RPING <lsn>               leader heartbeat; lsn is the newest LSN
+//	                           shipped or durable on the leader
+//
+// and the follower acknowledges applied state with
+//
+//	RACK <appliedLSN>
+//
+// after every applied chunk and in response to every ping. Frames are
+// the exact bytes of the leader's WAL (internal/durable record framing:
+// length, CRC32-C, binary update), so the follower verifies each record's
+// checksum before applying it; a torn or corrupt frame drops the
+// connection and the follower reconnects from its last applied LSN,
+// skipping any duplicate prefix the leader re-sends. See DESIGN.md §14.
+package replica
+
+// Chunk is one contiguous run of CRC-framed WAL records: count records
+// with LSNs First..First+Count-1, encoded back to back in Data exactly as
+// they appear in the leader's log.
+type Chunk struct {
+	First uint64
+	Count int
+	Data  []byte
+}
+
+// Last returns the LSN of the chunk's final record.
+func (c Chunk) Last() uint64 { return c.First + uint64(c.Count) - 1 }
+
+// Size limits on replication pushes. A leader never exceeds them; a
+// follower rejects headers claiming more before allocating.
+const (
+	// MaxFramesBytes bounds one *RFRAMES body. Live chunks are one WAL
+	// append (at most a BATCH frame, 4 MiB of records) and catch-up chunks
+	// are far smaller, so 8 MiB leaves headroom without letting a corrupt
+	// header demand gigabytes.
+	MaxFramesBytes = 8 << 20
+	// MaxSnapshotBytes bounds one *RSNAP body.
+	MaxSnapshotBytes = 1 << 31
+	// MaxChunkRecords bounds the record count of one chunk.
+	MaxChunkRecords = 200_000
+)

@@ -8,8 +8,10 @@ import (
 	"time"
 
 	"turboflux"
+	"turboflux/internal/durable"
 	"turboflux/internal/graph"
 	"turboflux/internal/qlang"
+	"turboflux/internal/replica"
 	"turboflux/internal/stats"
 	"turboflux/internal/stream"
 )
@@ -43,6 +45,14 @@ const (
 	reqUnsubscribe
 	reqDropConn
 	reqStats
+	reqReplicate    // register a replication stream (leader)
+	reqReplAck      // record a follower's acknowledged LSN (leader)
+	reqReplCaughtUp // release a stream's catch-up pin (leader)
+	reqReplFrames   // apply a replicated chunk (follower)
+	reqReplSeed     // adopt a leader snapshot (follower)
+	reqReplStatus   // record the link's state (follower)
+	reqReplLSN      // read the durable LSN (follower link positioning)
+	reqPromote      // flip follower to leader
 )
 
 // request is one message to the engine-owner goroutine. reply, when
@@ -57,6 +67,13 @@ type request struct {
 	sub    *subscriber
 	connID uint64
 	reply  chan response
+
+	// Replication payloads.
+	lsn   uint64        // follower applied LSN / acked LSN / chunk first LSN
+	count int           // record count of a replicated chunk
+	data  []byte        // raw snapshot or frame bytes
+	addr  string        // follower's remote address (STATS)
+	state replica.State // follower link state (reqReplStatus)
 }
 
 type response struct {
@@ -67,6 +84,8 @@ type response struct {
 	names  []string
 	lines  []string
 	label  graph.Label
+	plan   *durable.Plan // catch-up plan (reqReplicate)
+	feed   *replica.Feed // live-frame feed (reqReplicate)
 }
 
 // actor is the engine-owner goroutine (the serving subsystem's core): it
@@ -83,6 +102,15 @@ type actor struct {
 
 	policy SlowPolicy
 	depth  int
+
+	// Replication state, actor-owned. role is set before the actor starts
+	// (Options.Follow) and flipped by reqPromote; followers holds one
+	// handle per live replication stream, keyed by connection id.
+	role       role
+	leaderAddr string // follower mode: the leader's address (STATS)
+	feedDepth  int    // per-follower live-chunk queue capacity
+	followers  map[uint64]*followerHandle
+	repl       replica.State // follower mode: last reported link state
 
 	reqCh chan request
 	stop  chan struct{} // closed by Shutdown once connections are done
@@ -121,6 +149,14 @@ func newActor(host engineHost, durable *turboflux.DurableMultiEngine, vdict, edi
 		subs:    make(map[string][]*subscriber),
 		lat:     stats.NewLatency(0),
 		conns:   conns,
+
+		feedDepth: defaultFeedDepth,
+		followers: make(map[uint64]*followerHandle),
+	}
+	if durable != nil {
+		// Acked sequence numbers equal WAL LSNs in durable mode, so a
+		// follower applying the same journal emits byte-identical events.
+		a.seq = durable.LSN() //tf:actor-ok construction precedes actor start
 	}
 	a.boundary = func(int) {
 		a.seq++
@@ -168,6 +204,12 @@ func (a *actor) shutdown() {
 			s.close()
 		}
 	}
+	// Release any replication streams whose teardown message never
+	// arrived, so their feeds close and their compaction pins lift.
+	//tf:unordered-ok independent per-follower teardown
+	for id := range a.followers {
+		a.dropRepl(id)
+	}
 	// Close releases the fan-out worker pool and, in durable mode, syncs
 	// and closes the WAL.
 	a.closeErr = a.host.Close()
@@ -178,12 +220,20 @@ func (a *actor) handle(req request) {
 	var resp response
 	switch req.kind {
 	case reqApply:
+		if a.role == roleFollower {
+			resp.err = errFollowerReadOnly
+			break
+		}
 		resp.seq, resp.counts, resp.err = a.applyOne(req.u)
 		//tf:unordered-ok summing counts is order-independent
 		for _, n := range resp.counts {
 			resp.total += n
 		}
 	case reqBatch:
+		if a.role == roleFollower {
+			resp.err = errFollowerReadOnly
+			break
+		}
 		resp.seq, resp.counts, resp.err = a.applyBatch(req.ups)
 		//tf:unordered-ok summing counts is order-independent
 		for _, n := range resp.counts {
@@ -247,8 +297,27 @@ func (a *actor) handle(req request) {
 			}
 			a.subs[q] = live
 		}
+		a.dropRepl(req.connID)
 	case reqStats:
 		resp.lines = a.statsLines()
+	case reqReplicate:
+		resp = a.handleReplicate(req)
+	case reqReplAck:
+		a.handleReplAck(req)
+	case reqReplCaughtUp:
+		a.handleReplCaughtUp(req.connID)
+	case reqReplFrames:
+		resp = a.handleReplFrames(req)
+	case reqReplSeed:
+		resp = a.handleReplSeed(req)
+	case reqReplStatus:
+		a.repl = req.state
+	case reqReplLSN:
+		if a.durable != nil {
+			resp.seq = a.durable.LSN()
+		}
+	case reqPromote:
+		resp = a.handlePromote()
 	default:
 		resp.err = fmt.Errorf("server: unknown request kind %d", req.kind)
 	}
@@ -389,8 +458,10 @@ func (a *actor) statsLines() []string {
 		"fanout workers=%d evals=%d skipped=%d pooled=%d batches=%d busy_ns=%d",
 		fs.Workers, fs.Evals, fs.Skipped, fs.Pooled, fs.Batches, fs.BusyNs))
 	if a.durable != nil {
-		lines = append(lines, fmt.Sprintf("wal lsn=%d", a.durable.LSN()))
+		lines = append(lines, fmt.Sprintf("wal lsn=%d snap_lsn=%d",
+			a.durable.LSN(), a.durable.Store().SnapLSN()))
 	}
+	lines = a.replStatsLines(lines)
 	engStats := a.host.Stats()
 	for _, name := range a.host.Queries() {
 		st := engStats[name]

@@ -457,6 +457,13 @@ func (c *Client) Stats() ([]string, error) {
 	return lines, nil
 }
 
+// Promote flips a follower server into leader mode: its replication link
+// stops, its WAL is sealed, and it accepts writes from here on.
+func (c *Client) Promote() error {
+	_, err := c.do("PROMOTE", nil)
+	return err
+}
+
 // Quit sends a clean goodbye and closes the connection.
 func (c *Client) Quit() error {
 	_, err := c.do("QUIT", nil)

@@ -147,6 +147,10 @@ func (c *conn) dispatch(req Request) bool {
 		return c.subscribe(req.Name)
 	case KindUnsubscribe:
 		return c.unsubscribe(req.Name)
+	case KindReplicate:
+		return c.replicate(req)
+	case KindPromote:
+		return c.promote()
 	case KindStats:
 		resp, err := c.a.call(request{kind: reqStats})
 		if err != nil {

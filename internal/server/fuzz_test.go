@@ -23,6 +23,13 @@ func FuzzParseRequest(f *testing.F) {
 		"LABEL edge follows",
 		"BATCH 3",
 		"BATCHB 128",
+		"REPLICATE 0",
+		"REPLICATE 18446744073709551615",
+		"REPLICATE -1",
+		"REPLICATE 1 2",
+		"PROMOTE",
+		"PROMOTE now",
+		"RACK 7",
 		"i 1 2 3",
 		"d 1 2 3",
 		"v 7 1,2",

@@ -23,6 +23,18 @@
 //	v <id> [<label>,...]          declare a vertex
 //	BATCH <n>                     followed by n stream-text records
 //	BATCHB <bytes>                followed by <bytes> of binary-codec records
+//	REPLICATE <lsn>               become a replication stream: the server
+//	                              ships a snapshot and/or WAL tail for
+//	                              catch-up past <lsn>, then live frames
+//	                              (durable mode only; see internal/replica
+//	                              for the push/ack framing)
+//	PROMOTE                       flip a follower to leader: its link to
+//	                              the old leader stops, its WAL is sealed
+//	                              and synced, and writes are accepted
+//
+// After an accepted REPLICATE the connection is in replication mode: the
+// server pushes *RSNAP/*RFRAMES/*RPING messages and the only requests
+// accepted are "RACK <appliedLSN>" acknowledgments and QUIT.
 //
 // Update records and BATCH bodies reuse the internal/stream text codec;
 // BATCHB bodies reuse its binary codec, so a WAL segment payload can be
@@ -86,6 +98,11 @@ const (
 	KindBatch
 	// KindBatchBin applies Count bytes of binary records that follow.
 	KindBatchBin
+	// KindReplicate switches the connection into a replication stream
+	// serving catch-up and live WAL frames past LSN.
+	KindReplicate
+	// KindPromote flips a follower into leader mode.
+	KindPromote
 )
 
 // Limits on request framing. Requests outside them are rejected before any
@@ -109,6 +126,7 @@ type Request struct {
 	Arg    string        // pattern (REGISTER), label name (LABEL)
 	Update stream.Update // KindUpdate
 	Count  int           // record count (BATCH) / byte count (BATCHB)
+	LSN    uint64        // follower applied LSN (REPLICATE)
 }
 
 // ParseRequest parses one request line (without trailing newline).
@@ -168,6 +186,17 @@ func ParseRequest(line string) (Request, error) {
 			return Request{}, err
 		}
 		return Request{Kind: KindBatchBin, Count: n}, nil
+	case "REPLICATE":
+		if len(fields) != 2 {
+			return Request{}, fmt.Errorf("server: REPLICATE needs exactly one applied LSN")
+		}
+		lsn, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return Request{}, fmt.Errorf("server: bad REPLICATE LSN %q", clip(fields[1]))
+		}
+		return Request{Kind: KindReplicate, LSN: lsn}, nil
+	case "PROMOTE":
+		return reqNoArgs(KindPromote, fields)
 	case "i", "d", "v":
 		u, err := stream.ParseLine(line)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"turboflux"
+	"turboflux/internal/replica"
 )
 
 // errServerClosed is returned to connection goroutines whose requests race
@@ -55,6 +56,20 @@ type Options struct {
 	// actor still serializes updates — the pool parallelizes the
 	// per-update evaluation across registered queries.
 	FanOutWorkers int
+
+	// Follow, when non-empty, starts the server as a read-only follower
+	// replicating from the leader at this address (requires DataDir). The
+	// follower journals every replicated update into its own WAL, serves
+	// queries and subscriptions locally, and rejects writes until PROMOTE.
+	Follow string
+	// ReplFeedDepth is the per-follower live-chunk queue capacity on a
+	// leader (default 256). A follower that falls further behind than this
+	// many queued chunks is disconnected (feed overrun) and must
+	// reconnect to catch up from its applied LSN.
+	ReplFeedDepth int
+	// ReplOptions tunes the follower's replication-link timing (dial and
+	// read timeouts, reconnect backoff).
+	ReplOptions replica.Options
 }
 
 // Server is the TurboFlux network server: one engine-owner goroutine (the
@@ -67,7 +82,8 @@ type Server struct {
 	actor *actor
 	host  engineHost
 
-	ln net.Listener
+	ln   net.Listener
+	link *replica.Link // follower mode; nil on a born leader
 
 	mu      sync.Mutex
 	conns   map[*conn]struct{}
@@ -87,6 +103,9 @@ type Server struct {
 func New(opt Options) (*Server, error) {
 	if opt.QueueDepth <= 0 {
 		opt.QueueDepth = defaultQueueDepth
+	}
+	if opt.Follow != "" && opt.DataDir == "" {
+		return nil, errors.New("server: Follow requires DataDir (followers journal the replicated log)")
 	}
 	var (
 		host    engineHost
@@ -131,9 +150,66 @@ func New(opt Options) (*Server, error) {
 		stopping: make(chan struct{}),
 	}
 	s.actor = newActor(host, durable, vdict, edict, opt.Slow, opt.QueueDepth, &s.connCount)
+	if opt.ReplFeedDepth > 0 {
+		s.actor.feedDepth = opt.ReplFeedDepth
+	}
+	if opt.Follow != "" {
+		s.actor.role = roleFollower
+		s.actor.leaderAddr = opt.Follow
+	}
+	if durable != nil {
+		// The append tap fires on the actor goroutine (appends happen only
+		// inside apply handlers), so follower feeds stay actor-confined.
+		durable.Store().SetTap(s.actor.shipFrames) //tf:actor-ok construction precedes actor start
+	}
 	//tf:goroutine engine-owner-actor
 	go s.actor.run()
+	if opt.Follow != "" {
+		s.link = replica.NewLink(opt.Follow, s.linkCallbacks(), opt.ReplOptions)
+		s.link.Start()
+	}
 	return s, nil
+}
+
+// linkCallbacks wires the replication link to the engine-owner actor, so
+// snapshot seeding and frame application stay on the actor goroutine
+// (actor-confinement holds for replicated state too).
+func (s *Server) linkCallbacks() replica.Callbacks {
+	return replica.Callbacks{
+		Applied: func() uint64 {
+			resp, err := s.actor.call(request{kind: reqReplLSN})
+			if err != nil {
+				return 0
+			}
+			return resp.seq
+		},
+		Seed: func(lsn uint64, data []byte) (uint64, error) {
+			resp, err := s.actor.call(request{kind: reqReplSeed, data: data})
+			if err != nil {
+				return 0, err
+			}
+			return resp.seq, resp.err
+		},
+		Apply: func(first uint64, count int, frames []byte) (uint64, error) {
+			resp, err := s.actor.call(request{kind: reqReplFrames, lsn: first, count: count, data: frames})
+			if err != nil {
+				return 0, err
+			}
+			return resp.seq, resp.err
+		},
+		Status: func(st replica.State) {
+			s.actor.send(request{kind: reqReplStatus, state: st}) //tf:unchecked-ok best-effort status report
+		},
+	}
+}
+
+// stopLink stops the follower's replication link, if any. Idempotent and
+// safe to call concurrently (PROMOTE races Shutdown); it blocks until the
+// link goroutine has exited, so no replication callback runs afterwards.
+func (s *Server) stopLink() {
+	if s.link != nil {
+		s.link.Stop()
+	}
 }
 
 // Recovery returns what a durable-mode server found on disk; the zero
@@ -243,6 +319,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.ln != nil {
 		s.ln.Close() //tf:unchecked-ok shutting down
 	}
+	// Stop the replication link first: its callbacks call into the actor,
+	// which must still be running while the link winds down.
+	s.stopLink()
 	// Snapshot the live connections and do the socket calls outside s.mu:
 	// a deadline or close syscall under the lock would stall every conn
 	// teardown (removeConn) behind it (lock-scope).
