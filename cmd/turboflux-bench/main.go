@@ -36,6 +36,9 @@ func main() {
 	batchRecords := flag.Int("batch-records", 200000, "WAL record count for the -exp batch recovery row")
 	replicaOut := flag.String("replica-out", "BENCH_replica.json", "report path for -exp replica")
 	replicaSamples := flag.Int("replica-samples", 500, "delivery samples per grid cell for -exp replica")
+	shardOut := flag.String("shard-out", "BENCH_shard.json", "report path for -exp shard")
+	shardUpdates := flag.Int("shard-updates", 24000, "updates per shard-count cell for -exp shard")
+	shardBatch := flag.Int("shard-batch", 240, "BATCH frame size for -exp shard")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this path")
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "LSBench scale factor (#users)")
 	flag.IntVar(&cfg.Hosts, "hosts", cfg.Hosts, "Netflow host count")
@@ -72,6 +75,7 @@ func main() {
 		fmt.Println("fanout")
 		fmt.Println("batch")
 		fmt.Println("replica")
+		fmt.Println("shard")
 		return
 	}
 	if *exp == "" {
@@ -121,6 +125,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stdout, "\n[replica completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *exp == "shard" {
+		start := time.Now()
+		if err := runShard(*shardOut, *shardUpdates, *shardBatch); err != nil {
+			fmt.Fprintln(os.Stderr, "turboflux-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "\n[shard completed in %s]\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	start := time.Now()

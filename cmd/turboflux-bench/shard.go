@@ -1,0 +1,239 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"turboflux"
+	"turboflux/internal/server"
+	"turboflux/internal/shard"
+)
+
+// shardRow is one cell of the shard-count sweep: a coordinator over n
+// shard servers driving the same disjoint 24-query workload through
+// BATCH frames.
+//
+// CoordPerSec is the client-observed wall-clock update rate through the
+// coordinator. AggregatePerSec is the cluster-wide ingest+eval rate:
+// every shard applies the full update stream and evaluates its query
+// partition against it, so the cluster processes n×updates
+// ingest+eval units in the same wall-clock — the capacity metric that
+// grows with shard count. On a single host all shards share the CPUs,
+// so CoordPerSec is roughly flat while AggregatePerSec scales; on one
+// host per shard, CoordPerSec itself approaches the aggregate curve
+// because the per-shard work (dominated by evaluating 24/n two-hop
+// queries per update) genuinely runs in parallel.
+type shardRow struct {
+	Shards          int     `json:"shards"`
+	Queries         int     `json:"queries"`
+	Updates         int     `json:"updates"`
+	BatchSize       int     `json:"batch_size"`
+	Matches         int64   `json:"matches"`
+	WallMs          float64 `json:"wall_ms"`
+	CoordPerSec     float64 `json:"coord_updates_per_sec"`
+	AggregatePerSec float64 `json:"aggregate_updates_per_sec"`
+	AggSpeedupVs1   float64 `json:"aggregate_speedup_vs_1"`
+}
+
+// shardReport is the BENCH_shard.json document.
+type shardReport struct {
+	QueryMix string     `json:"query_mix"`
+	Note     string     `json:"note"`
+	Rows     []shardRow `json:"rows"`
+}
+
+// runShard benchmarks the coordinator/router tier over 1, 2, 4 and 8
+// shard servers with 24 label-disjoint two-hop queries.
+func runShard(out string, updates, batchSize int) error {
+	rep := shardReport{
+		QueryMix: "24 label-disjoint two-hop queries (a:P)-[:eI]->(b:P)-[:fI]->(c:P), each update completing/retracting 16 matches",
+		Note: "aggregate_updates_per_sec counts every shard's ingest+eval of the " +
+			"full stream (shards x coord rate); all shards share this host's CPUs, " +
+			"so coord_updates_per_sec stays near-flat while the aggregate scales",
+	}
+	var base float64
+	for _, n := range []int{1, 2, 4, 8} {
+		row, err := shardCell(n, updates, batchSize)
+		if err != nil {
+			return fmt.Errorf("shard cell shards=%d: %w", n, err)
+		}
+		if n == 1 {
+			base = row.AggregatePerSec
+		}
+		row.AggSpeedupVs1 = row.AggregatePerSec / base
+		rep.Rows = append(rep.Rows, row)
+		fmt.Printf("shard: shards=%d updates=%d batch=%d wall=%.0fms coord=%.0f/s aggregate=%.0f/s (%.2fx)\n",
+			row.Shards, row.Updates, row.BatchSize, row.WallMs,
+			row.CoordPerSec, row.AggregatePerSec, row.AggSpeedupVs1)
+	}
+	return writeJSON(out, rep)
+}
+
+// shardCell runs one topology: n in-process shard servers behind an
+// in-process coordinator, 24 queries, `updates` matched updates in
+// BATCH frames of batchSize.
+func shardCell(nShards, updates, batchSize int) (shardRow, error) {
+	const (
+		nQueries  = 24
+		fanLeaves = 16
+	)
+	row := shardRow{Shards: nShards, Queries: nQueries, Updates: updates, BatchSize: batchSize}
+
+	// Identical dictionaries everywhere: P=0; e0..e23 then f0..f23.
+	newDicts := func() (*turboflux.Dict, *turboflux.Dict) {
+		vd, ed := turboflux.NewDict(), turboflux.NewDict()
+		vd.Intern("P")
+		for i := 0; i < nQueries; i++ {
+			ed.Intern(fmt.Sprintf("e%d", i))
+		}
+		for i := 0; i < nQueries; i++ {
+			ed.Intern(fmt.Sprintf("f%d", i))
+		}
+		return vd, ed
+	}
+	elabel := func(i int) turboflux.Label { return turboflux.Label(i) }
+	flabel := func(i int) turboflux.Label { return turboflux.Label(nQueries + i) }
+	srcV := func(i int) turboflux.VertexID { return turboflux.VertexID(1 + i) }
+	hubV := func(i int) turboflux.VertexID { return turboflux.VertexID(100 + i) }
+	leafV := func(i, k int) turboflux.VertexID { return turboflux.VertexID(1000 + i*fanLeaves + k) }
+
+	// Every shard bootstraps the same graph: per query i, a fan
+	// hub_i -fI-> leaf_{i,0..15}, so each benchmark edge a_i -eI-> hub_i
+	// completes (or retracts) 16 two-hop matches.
+	var boot []turboflux.Update
+	for i := 0; i < nQueries; i++ {
+		boot = append(boot, turboflux.DeclareVertex(srcV(i), 0), turboflux.DeclareVertex(hubV(i), 0))
+		for k := 0; k < fanLeaves; k++ {
+			boot = append(boot, turboflux.DeclareVertex(leafV(i, k), 0))
+		}
+	}
+	for i := 0; i < nQueries; i++ {
+		for k := 0; k < fanLeaves; k++ {
+			boot = append(boot, turboflux.Insert(hubV(i), flabel(i), leafV(i, k)))
+		}
+	}
+
+	type proc struct {
+		srv  *server.Server
+		done chan error
+	}
+	var procs []proc
+	var addrs []string
+	for s := 0; s < nShards; s++ {
+		vd, ed := newDicts()
+		srv, err := server.New(server.Options{
+			Slow:         server.PolicyBlock,
+			QueueDepth:   1024,
+			VertexLabels: vd,
+			EdgeLabels:   ed,
+			Bootstrap:    boot,
+		})
+		if err == nil {
+			err = srv.Listen("127.0.0.1:0")
+		}
+		if err != nil {
+			for _, p := range procs {
+				shutdownServer(p.srv) //tf:unchecked-ok already failing
+			}
+			return shardRow{}, err
+		}
+		done := make(chan error, 1)
+		//tf:goroutine bench-shard-serve-loop
+		go func() { done <- srv.Serve() }()
+		procs = append(procs, proc{srv: srv, done: done})
+		addrs = append(addrs, srv.Addr().String())
+	}
+	stopAll := func() error {
+		var first error
+		for i := len(procs) - 1; i >= 0; i-- {
+			if err := shutdownServer(procs[i].srv); err != nil && first == nil {
+				first = err
+			}
+			if err := <-procs[i].done; err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	fail := func(err error) (shardRow, error) {
+		stopAll() //tf:unchecked-ok already failing
+		return shardRow{}, err
+	}
+
+	vd, ed := newDicts()
+	co, err := shard.New(shard.Options{Shards: addrs, VertexLabels: vd, EdgeLabels: ed})
+	if err != nil {
+		return fail(err)
+	}
+	if err := co.Listen("127.0.0.1:0"); err != nil {
+		return fail(err)
+	}
+	coDone := make(chan error, 1)
+	//tf:goroutine bench-shard-coord-loop
+	go func() { coDone <- co.Serve() }()
+	stopCo := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := co.Shutdown(ctx)
+		if serveErr := <-coDone; serveErr != nil && err == nil {
+			err = serveErr
+		}
+		return err
+	}
+	failCo := func(err error) (shardRow, error) {
+		stopCo()  //tf:unchecked-ok already failing
+		stopAll() //tf:unchecked-ok already failing
+		return shardRow{}, err
+	}
+
+	c, err := server.Dial(co.Addr().String())
+	if err != nil {
+		return failCo(err)
+	}
+	defer c.Close() //tf:unchecked-ok bench teardown
+	for i := 0; i < nQueries; i++ {
+		pattern := fmt.Sprintf("(a:P)-[:e%d]->(b:P)-[:f%d]->(c:P)", i, i)
+		if err := c.Register(fmt.Sprintf("q%d", i), pattern); err != nil {
+			return failCo(err)
+		}
+	}
+
+	// The measured stream: round-robin inserts of a_i -eI-> hub_i, each
+	// alternating round deleting them again so the graph stays bounded.
+	ups := make([]turboflux.Update, updates)
+	for k := range ups {
+		i := k % nQueries
+		if (k/nQueries)%2 == 0 {
+			ups[k] = turboflux.Insert(srcV(i), elabel(i), hubV(i))
+		} else {
+			ups[k] = turboflux.Delete(srcV(i), elabel(i), hubV(i))
+		}
+	}
+
+	t0 := time.Now()
+	for off := 0; off < len(ups); off += batchSize {
+		end := off + batchSize
+		if end > len(ups) {
+			end = len(ups)
+		}
+		ack, err := c.BatchBinary(ups[off:end])
+		if err != nil {
+			return failCo(err)
+		}
+		row.Matches += ack.Total
+	}
+	wall := time.Since(t0)
+
+	if err := stopCo(); err != nil {
+		return shardRow{}, err
+	}
+	if err := stopAll(); err != nil {
+		return shardRow{}, err
+	}
+
+	row.WallMs = float64(wall.Nanoseconds()) / 1e6
+	row.CoordPerSec = float64(updates) / wall.Seconds()
+	row.AggregatePerSec = row.CoordPerSec * float64(nShards)
+	return row, nil
+}

@@ -29,7 +29,7 @@ var actorOwnedRootTypes = map[string]bool{
 // every engine type's declaration carries //tf:actor-owned.
 var ActorConfinement = &analysis.Analyzer{
 	Name: "actor-confinement",
-	Doc:  "engine access in internal/server must stay on the actor goroutine (//tf:actor-loop roots)",
+	Doc:  "engine access in internal/server and internal/shard must stay on the actor goroutine (//tf:actor-loop roots)",
 	Run:  runActorConfinement,
 }
 
@@ -38,7 +38,7 @@ func runActorConfinement(pass *analysis.Pass) error {
 	case "":
 		checkOwnedDirectives(pass)
 		return nil
-	case "internal/server":
+	case "internal/server", "internal/shard":
 		return checkConfinement(pass)
 	default:
 		return nil

@@ -40,6 +40,7 @@ var emissionScope = map[string]bool{
 	"internal/fanout": true,
 	"internal/query":  true,
 	"internal/server": true,
+	"internal/shard":  true,
 }
 
 // enclosingFuncDecl returns the top-level function declaration containing

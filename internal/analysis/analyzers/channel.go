@@ -13,14 +13,18 @@ import (
 // events out to subscribers over bounded queues, internal/fanout moves
 // evaluation tasks between the coordinator and the worker pool,
 // internal/replica queues live WAL chunks between the engine-owner actor
-// and per-follower stream pumps, and cmd/turboflux-serve wires the
-// serving loop together.
+// and per-follower stream pumps, internal/shard queues fan-out tasks
+// between the router actor and the per-shard fanners, and
+// cmd/turboflux-serve / cmd/turboflux-shard wire the serving loops
+// together.
 var servingScope = map[string]bool{
 	"":                    true,
 	"internal/server":     true,
 	"internal/fanout":     true,
 	"internal/replica":    true,
+	"internal/shard":      true,
 	"cmd/turboflux-serve": true,
+	"cmd/turboflux-shard": true,
 }
 
 // ChannelDiscipline preserves the bounded-queue backpressure design

@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"turboflux"
 	"turboflux/internal/stream"
@@ -52,6 +53,12 @@ type Client struct {
 	mu sync.Mutex // serializes request/response exchanges
 	bw *bufio.Writer
 
+	// reqTimeout bounds one request/response exchange (DialOptions). A
+	// timed-out exchange poisons the connection — the reply could still
+	// arrive later and desynchronize the stream — so the socket is closed
+	// and every later request fails fast.
+	reqTimeout time.Duration
+
 	resp   chan respMsg
 	events chan Event
 
@@ -66,26 +73,56 @@ type respMsg struct {
 	line string
 }
 
+// DialOptions tunes a client connection. The zero value means no dial
+// bound, no per-request bound, and the default event buffer — Dial's
+// behavior. The shard coordinator sets both timeouts so one hung shard
+// cannot block the router forever.
+type DialOptions struct {
+	// Timeout bounds the TCP connect (0 = the OS default).
+	Timeout time.Duration
+	// RequestTimeout bounds each request/response exchange, measured from
+	// the first write to the reply. On expiry the exchange fails and the
+	// connection is closed: a late reply cannot be re-synchronized with a
+	// line protocol, so the client must redial.
+	RequestTimeout time.Duration
+	// EventBuf is the Events channel capacity (0 = Dial's default 256;
+	// negative = unbuffered).
+	EventBuf int
+}
+
 // Dial connects to a TurboFlux server with the default event buffer.
 func Dial(addr string) (*Client, error) { return DialBuffered(addr, 256) }
 
 // DialBuffered connects with an explicit Events channel capacity
 // (0 = unbuffered, for tests that want the tightest backpressure).
 func DialBuffered(addr string, eventBuf int) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
+	if eventBuf <= 0 {
+		eventBuf = -1 // DialOptions spells "unbuffered" as negative
+	}
+	return DialWith(addr, DialOptions{EventBuf: eventBuf})
+}
+
+// DialWith connects with explicit dial and request timeouts.
+func DialWith(addr string, opt DialOptions) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, opt.Timeout)
 	if err != nil {
 		return nil, err
 	}
-	if eventBuf < 0 {
+	eventBuf := opt.EventBuf
+	switch {
+	case eventBuf == 0:
+		eventBuf = 256
+	case eventBuf < 0:
 		eventBuf = 0
 	}
 	c := &Client{
-		nc:     nc,
-		bw:     bufio.NewWriter(nc),
-		resp:   make(chan respMsg), //tf:unbuffered-ok request/response rendezvous; one exchange in flight by design
-		events: make(chan Event, eventBuf),
-		done:   make(chan struct{}),
-		dead:   make(chan struct{}),
+		nc:         nc,
+		bw:         bufio.NewWriter(nc),
+		reqTimeout: opt.RequestTimeout,
+		resp:       make(chan respMsg), //tf:unbuffered-ok request/response rendezvous; one exchange in flight by design
+		events:     make(chan Event, eventBuf),
+		done:       make(chan struct{}),
+		dead:       make(chan struct{}),
 	}
 	//tf:goroutine client-read-loop
 	go c.readLoop()
@@ -198,6 +235,7 @@ func parseEvent(line string) (Event, error) {
 func (c *Client) do(reqLine string, body []byte) (string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	deadline := c.startExchange()
 	if _, err := c.bw.WriteString(reqLine); err != nil {
 		return "", err
 	}
@@ -212,11 +250,32 @@ func (c *Client) do(reqLine string, body []byte) (string, error) {
 	if err := c.bw.Flush(); err != nil {
 		return "", err
 	}
-	return c.recv()
+	return c.recv(deadline)
+}
+
+// startExchange begins one request/response exchange under mu: with a
+// request timeout configured it arms the write deadline and returns the
+// reply deadline channel (nil otherwise, which never fires).
+func (c *Client) startExchange() <-chan time.Time {
+	if c.reqTimeout <= 0 {
+		return nil
+	}
+	c.nc.SetWriteDeadline(time.Now().Add(c.reqTimeout)) //tf:unchecked-ok deadline on a live conn; writes surface the error
+	return time.After(c.reqTimeout)
+}
+
+// timedOut poisons the connection after an expired exchange: the reply may
+// still arrive and cannot be matched to a request anymore, so the socket
+// is closed (the read loop then exits and later requests fail fast).
+func (c *Client) timedOut() error {
+	err := fmt.Errorf("server: request timed out after %v", c.reqTimeout)
+	c.setErr(err)
+	c.nc.Close() //tf:unchecked-ok poisoning a timed-out conn
+	return err
 }
 
 // recv waits for the next response line (the caller holds mu).
-func (c *Client) recv() (string, error) {
+func (c *Client) recv(deadline <-chan time.Time) (string, error) {
 	select {
 	case m := <-c.resp:
 		if strings.HasPrefix(m.line, "-ERR ") {
@@ -229,6 +288,8 @@ func (c *Client) recv() (string, error) {
 			return "", fmt.Errorf("server: unexpected response %q", m.line)
 		}
 		return strings.TrimPrefix(m.line, "+"), nil
+	case <-deadline:
+		return "", c.timedOut()
 	case <-c.dead:
 		if err := c.Err(); err != nil {
 			return "", err
@@ -238,10 +299,12 @@ func (c *Client) recv() (string, error) {
 }
 
 // recvLine waits for one raw payload line (STATS body).
-func (c *Client) recvLine() (string, error) {
+func (c *Client) recvLine(deadline <-chan time.Time) (string, error) {
 	select {
 	case m := <-c.resp:
 		return m.line, nil
+	case <-deadline:
+		return "", c.timedOut()
 	case <-c.dead:
 		return "", errors.New("server: connection closed")
 	}
@@ -425,30 +488,39 @@ func (c *Client) Unsubscribe(name string) error {
 }
 
 // Stats returns the STATS payload lines (see the package comment).
-func (c *Client) Stats() ([]string, error) {
+func (c *Client) Stats() ([]string, error) { return c.dataLines("STATS") }
+
+// ShardStats returns the per-shard liveness and lag lines from a
+// coordinator (a plain server rejects the request).
+func (c *Client) ShardStats() ([]string, error) { return c.dataLines("SHARDSTATS") }
+
+// dataLines performs one "+DATA <n>" framed exchange and returns the n
+// payload lines.
+func (c *Client) dataLines(cmd string) ([]string, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := c.bw.WriteString("STATS\n"); err != nil {
+	deadline := c.startExchange()
+	if _, err := c.bw.WriteString(cmd + "\n"); err != nil {
 		return nil, err
 	}
 	if err := c.bw.Flush(); err != nil {
 		return nil, err
 	}
-	head, err := c.recv()
+	head, err := c.recv(deadline)
 	if err != nil {
 		return nil, err
 	}
 	fields := strings.Fields(head) // "DATA <n>"
 	if len(fields) != 2 || fields[0] != "DATA" {
-		return nil, fmt.Errorf("server: bad STATS reply %q", head)
+		return nil, fmt.Errorf("server: bad %s reply %q", cmd, head)
 	}
 	n, err := strconv.Atoi(fields[1])
 	if err != nil || n < 0 || n > 1<<20 {
-		return nil, fmt.Errorf("server: bad STATS reply %q", head)
+		return nil, fmt.Errorf("server: bad %s reply %q", cmd, head)
 	}
 	lines := make([]string, 0, n)
 	for i := 0; i < n; i++ {
-		l, err := c.recvLine()
+		l, err := c.recvLine(deadline)
 		if err != nil {
 			return nil, err
 		}

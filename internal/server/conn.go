@@ -151,6 +151,8 @@ func (c *conn) dispatch(req Request) bool {
 		return c.replicate(req)
 	case KindPromote:
 		return c.promote()
+	case KindShardStats:
+		return c.writeErr(fmt.Errorf("server: SHARDSTATS requires a coordinator (turboflux-shard)")) == nil
 	case KindStats:
 		resp, err := c.a.call(request{kind: reqStats})
 		if err != nil {

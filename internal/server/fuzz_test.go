@@ -29,6 +29,9 @@ func FuzzParseRequest(f *testing.F) {
 		"REPLICATE 1 2",
 		"PROMOTE",
 		"PROMOTE now",
+		"SHARDSTATS",
+		"SHARDSTATS 3",
+		"SHARDSTATS\r",
 		"RACK 7",
 		"i 1 2 3",
 		"d 1 2 3",

@@ -31,6 +31,9 @@
 //	PROMOTE                       flip a follower to leader: its link to
 //	                              the old leader stops, its WAL is sealed
 //	                              and synced, and writes are accepted
+//	SHARDSTATS                    per-shard liveness/lag counters; answered
+//	                              by a coordinator (internal/shard) with the
+//	                              STATS framing, rejected by a plain server
 //
 // After an accepted REPLICATE the connection is in replication mode: the
 // server pushes *RSNAP/*RFRAMES/*RPING messages and the only requests
@@ -103,6 +106,9 @@ const (
 	KindReplicate
 	// KindPromote flips a follower into leader mode.
 	KindPromote
+	// KindShardStats requests per-shard liveness and lag counters; only a
+	// coordinator (internal/shard) answers it, a plain server rejects it.
+	KindShardStats
 )
 
 // Limits on request framing. Requests outside them are rejected before any
@@ -197,6 +203,8 @@ func ParseRequest(line string) (Request, error) {
 		return Request{Kind: KindReplicate, LSN: lsn}, nil
 	case "PROMOTE":
 		return reqNoArgs(KindPromote, fields)
+	case "SHARDSTATS":
+		return reqNoArgs(KindShardStats, fields)
 	case "i", "d", "v":
 		u, err := stream.ParseLine(line)
 		if err != nil {

@@ -1,0 +1,486 @@
+package shard
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"turboflux"
+	"turboflux/internal/server"
+	"turboflux/internal/stream"
+)
+
+// cconn is one client connection to the coordinator. It mirrors the
+// server's connection discipline: the reader goroutine owns br and the
+// subs map; replies and relayed subscription events share the socket
+// through wmu, one full line per critical section.
+type cconn struct {
+	co *Coordinator
+	r  *router
+	nc net.Conn
+	id uint64
+
+	br *bufio.Reader
+
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	werr error // sticky first write error
+
+	subs   map[string]*relaySub
+	relays sync.WaitGroup
+}
+
+// relaySub is one delegated subscription: a dedicated client connection
+// to the owning shard whose *EVENT stream is relayed verbatim.
+type relaySub struct {
+	query      string
+	cli        *server.Client
+	closedByUs atomic.Bool // set before a deliberate close, so the relay
+	// does not report a clean unsubscribe as an eviction
+}
+
+func newCConn(co *Coordinator, nc net.Conn, id uint64) *cconn {
+	return &cconn{
+		co:   co,
+		r:    co.router,
+		nc:   nc,
+		id:   id,
+		br:   bufio.NewReaderSize(nc, server.MaxLineBytes),
+		bw:   bufio.NewWriterSize(nc, 32*1024),
+		subs: make(map[string]*relaySub),
+	}
+}
+
+// serve runs the request loop until the peer disconnects, QUITs, sends
+// an unrecoverable frame, or the coordinator shuts the connection down.
+func (c *cconn) serve() {
+	defer c.teardown()
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		req, err := server.ParseRequest(line)
+		if err != nil {
+			if c.writeErr(err) != nil {
+				return
+			}
+			continue
+		}
+		if !c.dispatch(req) {
+			return
+		}
+	}
+}
+
+func (c *cconn) readLine() (string, error) {
+	b, err := c.br.ReadSlice('\n')
+	if err == bufio.ErrBufferFull {
+		c.writeErr(fmt.Errorf("shard: request line exceeds %d bytes", server.MaxLineBytes)) //tf:unchecked-ok dropping the conn either way
+		return "", err
+	}
+	if err != nil {
+		return "", err
+	}
+	return string(b[:len(b)-1]), nil
+}
+
+// dispatch executes one parsed request. It returns false when the
+// connection should close.
+func (c *cconn) dispatch(req server.Request) bool {
+	switch req.Kind {
+	case server.KindPing:
+		return c.writeLine("+OK pong") == nil
+	case server.KindQuit:
+		c.writeLine("+OK bye") //tf:unchecked-ok closing anyway
+		return false
+	case server.KindUpdate:
+		resp, err := c.r.call(rreq{kind: rApply, u: req.Update})
+		if err != nil {
+			return false
+		}
+		return c.writeApplyReply(resp.seq, resp.pend.collect()) == nil
+	case server.KindBatch:
+		ups, ferr, perr := c.readBatchText(req.Count)
+		if ferr != nil {
+			return false
+		}
+		if perr != nil {
+			return c.writeErr(perr) == nil
+		}
+		return c.finishBatch(ups)
+	case server.KindBatchBin:
+		ups, ferr, perr := c.readBatchBinary(req.Count)
+		if ferr != nil {
+			return false
+		}
+		if perr != nil {
+			return c.writeErr(perr) == nil
+		}
+		return c.finishBatch(ups)
+	case server.KindRegister:
+		return c.register(req.Name, req.Arg)
+	case server.KindUnregister:
+		resp, err := c.r.call(rreq{kind: rUnregister, name: req.Name})
+		if err != nil {
+			return false
+		}
+		if resp.err != nil {
+			return c.writeErr(resp.err) == nil
+		}
+		// The placement is gone either way; an exec error just means the
+		// owner died and was marked down.
+		resp.reg.collect()
+		return c.writeLine("+OK") == nil
+	case server.KindQueries:
+		resp, err := c.r.call(rreq{kind: rQueries})
+		if err != nil {
+			return false
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "+OK %d", len(resp.names))
+		for _, n := range resp.names {
+			sb.WriteByte(' ')
+			sb.WriteString(n)
+		}
+		return c.writeLine(sb.String()) == nil
+	case server.KindLabel:
+		resp, err := c.r.call(rreq{kind: rLabel, name: req.Name, arg: req.Arg})
+		if err != nil {
+			return false
+		}
+		if resp.err != nil {
+			return c.writeErr(resp.err) == nil
+		}
+		resp.pend.collect() // sync failures mark the shard down
+		return c.writeLine(fmt.Sprintf("+OK %d", resp.label)) == nil
+	case server.KindSubscribe:
+		return c.subscribe(req.Name)
+	case server.KindUnsubscribe:
+		return c.unsubscribe(req.Name)
+	case server.KindStats:
+		return c.writeData(rStats)
+	case server.KindShardStats:
+		return c.writeData(rShardStats)
+	case server.KindReplicate, server.KindPromote:
+		return c.writeErr(errors.New("shard: coordinators do not replicate; connect to the shard servers directly")) == nil
+	default:
+		return c.writeErr(fmt.Errorf("shard: unhandled request kind %d", req.Kind)) == nil
+	}
+}
+
+// writeData performs one router exchange whose payload uses the
+// "+DATA <n>" framing (STATS, SHARDSTATS).
+func (c *cconn) writeData(kind rkind) bool {
+	resp, err := c.r.call(rreq{kind: kind})
+	if err != nil {
+		return false
+	}
+	if werr := c.writeLine(fmt.Sprintf("+DATA %d", len(resp.lines))); werr != nil {
+		return false
+	}
+	for _, l := range resp.lines {
+		if werr := c.writeLine(l); werr != nil {
+			return false
+		}
+	}
+	return true
+}
+
+// readBatchText reads n stream-text records (same framing discipline as
+// the server: framing errors are fatal, parse errors are reported after
+// the body is consumed).
+func (c *cconn) readBatchText(n int) (ups []turboflux.Update, framing, parse error) {
+	ups = make([]turboflux.Update, 0, n)
+	for i := 0; i < n; i++ {
+		line, err := c.readLine()
+		if err != nil {
+			return nil, err, nil
+		}
+		if parse != nil {
+			continue // consume remaining body
+		}
+		u, err := stream.ParseLine(strings.TrimSuffix(line, "\r"))
+		if err != nil {
+			parse = fmt.Errorf("shard: batch record %d: %w", i+1, err)
+			continue
+		}
+		ups = append(ups, u)
+	}
+	if parse != nil {
+		return nil, nil, parse
+	}
+	return ups, nil, nil
+}
+
+// readBatchBinary reads n bytes of binary-codec records.
+func (c *cconn) readBatchBinary(n int) (ups []turboflux.Update, framing, parse error) {
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return nil, err, nil
+	}
+	for len(body) > 0 {
+		u, used, err := stream.DecodeBinary(body)
+		if err != nil {
+			return nil, nil, fmt.Errorf("shard: batch record %d: %w", len(ups)+1, err)
+		}
+		ups = append(ups, u)
+		body = body[used:]
+	}
+	if len(ups) == 0 {
+		return nil, nil, fmt.Errorf("shard: empty binary batch")
+	}
+	return ups, nil, nil
+}
+
+func (c *cconn) finishBatch(ups []turboflux.Update) bool {
+	resp, err := c.r.call(rreq{kind: rBatch, ups: ups})
+	if err != nil {
+		return false
+	}
+	results := resp.pend.collect()
+	var total int64
+	okCount := 0
+	var firstErr error
+	for _, res := range results {
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		okCount++
+		total += res.batch.Total
+	}
+	if okCount == 0 {
+		if firstErr == nil {
+			firstErr = errors.New("shard: no alive shards")
+		}
+		return c.writeErr(firstErr) == nil
+	}
+	return c.writeLine(fmt.Sprintf("+OK %d %d %d", resp.seq, len(ups), total)) == nil
+}
+
+// writeApplyReply merges the per-shard update acknowledgments into one
+// client ack. Queries partition across shards, so the per-query counts
+// are disjoint and merge by union; the sequence number is the
+// coordinator's. A shard that died mid-update is skipped — the update
+// is acknowledged as long as one alive shard applied it.
+func (c *cconn) writeApplyReply(seq uint64, results []taskResult) error {
+	counts := make(map[string]int64)
+	var total int64
+	okCount := 0
+	var firstErr error
+	for _, res := range results {
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		okCount++
+		total += res.ack.Total
+		for name, n := range res.ack.Counts {
+			counts[name] += n
+		}
+	}
+	if okCount == 0 {
+		if firstErr == nil {
+			firstErr = errors.New("shard: no alive shards")
+		}
+		return c.writeErr(firstErr)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "+OK %d %d", seq, total)
+	if len(counts) > 0 {
+		names := make([]string, 0, len(counts))
+		//tf:unordered-ok keys are sorted before emission
+		for n := range counts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&sb, " %s=%d", n, counts[n])
+		}
+	}
+	return c.writeLine(sb.String())
+}
+
+// register runs the two-stage registration: label sync to every shard,
+// then the registration on the owner, rolling the placement back if the
+// owner rejects it.
+func (c *cconn) register(name, pattern string) bool {
+	resp, err := c.r.call(rreq{kind: rRegister, name: name, arg: pattern})
+	if err != nil {
+		return false
+	}
+	if resp.err != nil {
+		return c.writeErr(resp.err) == nil
+	}
+	resp.pend.collect() // label sync; failures mark shards down
+	reg := resp.reg.collect()[0]
+	if reg.err != nil {
+		c.r.send(rreq{kind: rUnassign, name: name}) //tf:unchecked-ok rollback is moot once the router stopped
+		return c.writeErr(reg.err) == nil
+	}
+	return c.writeLine("+OK") == nil
+}
+
+// subscribe opens the delegated subscription: a dedicated client to the
+// owning shard, relayed by one goroutine for the life of the
+// subscription.
+func (c *cconn) subscribe(name string) bool {
+	if _, dup := c.subs[name]; dup {
+		return c.writeErr(fmt.Errorf("shard: already subscribed to %q", name)) == nil
+	}
+	resp, err := c.r.call(rreq{kind: rSubscribe, name: name})
+	if err != nil {
+		return false
+	}
+	if resp.err != nil {
+		return c.writeErr(resp.err) == nil
+	}
+	cli, err := server.DialWith(resp.addr, server.DialOptions{Timeout: c.co.opt.DialTimeout})
+	if err != nil {
+		c.r.send(rreq{kind: rSubRelease, name: name}) //tf:unchecked-ok reservation dies with the router
+		return c.writeErr(fmt.Errorf("shard: dialing shard for %q: %w", name, err)) == nil
+	}
+	seq, err := cli.Subscribe(name)
+	if err != nil {
+		cli.Close()                                   //tf:unchecked-ok abandoning a failed subscription
+		c.r.send(rreq{kind: rSubRelease, name: name}) //tf:unchecked-ok reservation dies with the router
+		return c.writeErr(err) == nil
+	}
+	sub := &relaySub{query: name, cli: cli}
+	c.subs[name] = sub
+	c.relays.Add(1)
+	//tf:goroutine sub-relay
+	go c.relay(sub)
+	return c.writeLine(fmt.Sprintf("+OK %d", seq)) == nil
+}
+
+func (c *cconn) unsubscribe(name string) bool {
+	sub, ok := c.subs[name]
+	if !ok {
+		return c.writeErr(fmt.Errorf("shard: not subscribed to %q", name)) == nil
+	}
+	delete(c.subs, name)
+	sub.closedByUs.Store(true)
+	sub.cli.Close() //tf:unchecked-ok closing a delegated subscription
+	return c.writeLine("+OK") == nil
+}
+
+// relay pumps one delegated subscription's events onto the client
+// socket, verbatim: the shard's per-query order and sequence numbers
+// are the cluster's. It ends when the shard connection closes — clean
+// unsubscribe or teardown (silent), shard-side eviction (*EVICTED
+// relayed), or shard death (*EVICTED synthesized, since the stream can
+// never resume).
+func (c *cconn) relay(sub *relaySub) {
+	defer c.relays.Done()
+	defer c.r.send(rreq{kind: rSubRelease, name: sub.query}) //tf:unchecked-ok reservation dies with the router
+	var scratch []byte
+	events := sub.cli.Events()
+	for ev := range events {
+		if ev.Evicted {
+			c.writeLine("*EVICTED " + sub.query) //tf:unchecked-ok peer may be gone
+			return
+		}
+		c.co.events.Add(1)
+		scratch = appendEventLine(scratch[:0], ev)
+		scratch = append(scratch, '\n')
+		c.writeBytes(scratch, len(events) == 0) //tf:unchecked-ok sticky error; relay keeps draining
+	}
+	if !sub.closedByUs.Load() {
+		c.writeLine("*EVICTED " + sub.query) //tf:unchecked-ok peer may be gone
+	}
+}
+
+// appendEventLine renders one relayed match event back into its wire
+// form (without the trailing newline).
+func appendEventLine(dst []byte, ev server.Event) []byte {
+	dst = append(dst, "*EVENT "...)
+	dst = append(dst, ev.Query...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, ev.Seq, 10)
+	if ev.Positive {
+		dst = append(dst, " +"...)
+	} else {
+		dst = append(dst, " -"...)
+	}
+	for _, v := range ev.Mapping {
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, uint64(v), 10)
+	}
+	return dst
+}
+
+func (c *cconn) writeLine(line string) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return c.werr
+	}
+	if _, err := c.bw.WriteString(line); err != nil {
+		c.werr = err
+		return err
+	}
+	if err := c.bw.WriteByte('\n'); err != nil {
+		c.werr = err
+		return err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.werr = err
+		return err
+	}
+	return nil
+}
+
+func (c *cconn) writeBytes(b []byte, flush bool) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.werr != nil {
+		return
+	}
+	if _, err := c.bw.Write(b); err != nil {
+		c.werr = err
+		return
+	}
+	if flush {
+		if err := c.bw.Flush(); err != nil {
+			c.werr = err
+		}
+	}
+}
+
+func (c *cconn) writeErr(err error) error {
+	msg := strings.NewReplacer("\r", " ", "\n", " ").Replace(err.Error())
+	return c.writeLine("-ERR " + msg)
+}
+
+// teardown ends the connection: close every delegated subscription
+// (their relays drain and exit), flush, close the socket.
+func (c *cconn) teardown() {
+	//tf:unordered-ok closing delegated subscriptions; per-query order is preserved by the relays
+	for _, sub := range c.subs {
+		sub.closedByUs.Store(true)
+		sub.cli.Close() //tf:unchecked-ok closing
+	}
+	c.relays.Wait()
+	c.wmu.Lock()
+	c.bw.Flush() //tf:unchecked-ok closing
+	c.wmu.Unlock()
+	c.nc.Close() //tf:unchecked-ok closing
+	c.co.removeConn(c)
+}

@@ -1,0 +1,412 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"turboflux"
+	"turboflux/internal/qlang"
+)
+
+// errCoordClosed is returned to connection goroutines whose requests
+// race the router's shutdown.
+var errCoordClosed = errors.New("shard: coordinator shut down")
+
+type rkind uint8
+
+const (
+	rApply rkind = iota
+	rBatch
+	rRegister
+	rUnregister
+	rUnassign // roll an optimistic placement back after a failed register
+	rQueries
+	rLabel
+	rSubscribe
+	rSubRelease
+	rStats
+	rShardStats
+)
+
+// rreq is one message to the router actor. reply, when non-nil, receives
+// exactly one response and must have capacity 1 so the router never
+// blocks sending it.
+type rreq struct {
+	kind  rkind
+	u     turboflux.Update
+	ups   []turboflux.Update
+	name  string // query name / "vertex" / "edge" (rLabel)
+	arg   string // pattern (rRegister) / label name (rLabel)
+	reply chan rresp
+}
+
+type rresp struct {
+	err   error
+	seq   uint64  // coordinator sequence of the (first) update
+	pend  pending // all-shard fan-out barrier (updates, label sync)
+	reg   pending // owner-shard barrier (register/unregister)
+	names []string
+	lines []string
+	label turboflux.Label
+	addr  string // owner shard address (rSubscribe)
+}
+
+// assignTable is the query-placement state: which shard owns each query,
+// per-shard load, and registration order. It belongs to the router
+// goroutine alone — connection goroutines reach it only through the
+// request channel.
+//
+//tf:actor-owned
+type assignTable struct {
+	byName map[string]*assignment
+	order  []string
+	counts []int // registered queries per shard id
+}
+
+type assignment struct {
+	shard int
+	subs  int // live coordinator-side subscriptions (STATS)
+}
+
+func newAssignTable(shards int) *assignTable {
+	return &assignTable{
+		byName: make(map[string]*assignment),
+		counts: make([]int, shards),
+	}
+}
+
+func (t *assignTable) get(name string) (*assignment, bool) {
+	a, ok := t.byName[name]
+	return a, ok
+}
+
+func (t *assignTable) add(name string, shard int) {
+	t.byName[name] = &assignment{shard: shard}
+	t.order = append(t.order, name)
+	t.counts[shard]++
+}
+
+// remove drops a query, rebalancing the owner's load count so the next
+// registration prefers the now-lighter shard.
+func (t *assignTable) remove(name string) {
+	a, ok := t.byName[name]
+	if !ok {
+		return
+	}
+	delete(t.byName, name)
+	t.counts[a.shard]--
+	for i, n := range t.order {
+		if n == name {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// names returns the registered query names in registration order.
+func (t *assignTable) names() []string {
+	out := make([]string, len(t.order))
+	copy(out, t.order)
+	return out
+}
+
+// router is the coordinator's actor: it owns the placement table, the
+// coordinator sequence counter and the fanner enqueue order (the
+// cluster's total update order). It never performs network I/O — fanner
+// goroutines do, and connection goroutines collect their results — so a
+// slow or hung shard cannot stall routing.
+type router struct {
+	co     *Coordinator
+	shards []*shardHandle
+	vdict  *turboflux.Dict
+	edict  *turboflux.Dict
+
+	reqCh chan rreq
+	stop  chan struct{}
+	done  chan struct{}
+
+	table *assignTable
+	seq   uint64 // updates fanned so far; acked to clients
+}
+
+func newRouter(co *Coordinator, vdict, edict *turboflux.Dict) *router {
+	return &router{
+		co:     co,
+		shards: co.shards,
+		vdict:  vdict,
+		edict:  edict,
+		reqCh:  make(chan rreq, 128),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		table:  newAssignTable(len(co.shards)),
+	}
+}
+
+// run is the router loop: the confinement root every placement-table
+// access must be reachable from.
+//
+//tf:actor-loop
+func (r *router) run() {
+	for {
+		select {
+		case req := <-r.reqCh:
+			r.handle(req)
+		case <-r.stop:
+			r.shutdown()
+			return
+		}
+	}
+}
+
+// shutdown drains the requests already queued (connections are gone by
+// now), closes the task FIFOs so the fanners finish their backlogs and
+// exit, stops the heartbeats, and releases the shard clients.
+func (r *router) shutdown() {
+	for {
+		select {
+		case req := <-r.reqCh:
+			r.handle(req)
+			continue
+		default:
+		}
+		break
+	}
+	for _, h := range r.shards {
+		close(h.tasks)
+		close(h.stop)
+	}
+	for _, h := range r.shards {
+		h.wg.Wait()
+		h.closeClients()
+	}
+	close(r.done)
+}
+
+func (r *router) handle(req rreq) {
+	var resp rresp
+	switch req.kind {
+	case rApply:
+		r.seq++
+		resp.seq = r.seq
+		resp.pend = r.fanAll(&task{kind: taskApply, seq: r.seq, u: req.u})
+	case rBatch:
+		first := r.seq + 1
+		r.seq += uint64(len(req.ups))
+		resp.seq = first
+		resp.pend = r.fanAll(&task{kind: taskBatch, seq: first, ups: req.ups})
+	case rRegister:
+		resp = r.register(req)
+	case rUnassign:
+		r.table.remove(req.name)
+	case rUnregister:
+		a, ok := r.table.get(req.name)
+		if !ok {
+			resp.err = fmt.Errorf("shard: query %q is not registered", req.name)
+			break
+		}
+		r.table.remove(req.name)
+		resp.reg = r.fanTo(a.shard, &task{kind: taskUnregister, name: req.name})
+	case rQueries:
+		resp.names = r.table.names()
+	case rLabel:
+		resp = r.label(req)
+	case rSubscribe:
+		a, ok := r.table.get(req.name)
+		if !ok {
+			resp.err = fmt.Errorf("shard: query %q is not registered", req.name)
+			break
+		}
+		h := r.shards[a.shard]
+		if !h.alive.Load() {
+			resp.err = fmt.Errorf("shard: query %q lives on shard %d (%s), which is down: %s",
+				req.name, h.id, h.addr, h.downReason())
+			break
+		}
+		a.subs++
+		resp.addr = h.addr
+	case rSubRelease:
+		if a, ok := r.table.get(req.name); ok && a.subs > 0 {
+			a.subs--
+		}
+	case rStats:
+		resp.lines = r.statsLines()
+	case rShardStats:
+		resp.lines = r.shardLines(nil)
+	}
+	if req.reply != nil {
+		req.reply <- resp
+	}
+}
+
+// register validates and interns the pattern locally, places the query
+// on the least-loaded alive shard, and enqueues the label sync (all
+// shards) and the registration (owner) in FIFO order. The placement is
+// recorded optimistically; the connection goroutine rolls it back with
+// rUnassign if the owner rejects.
+func (r *router) register(req rreq) rresp {
+	var resp rresp
+	if _, dup := r.table.get(req.name); dup {
+		resp.err = fmt.Errorf("shard: query %q is already registered", req.name)
+		return resp
+	}
+	labels, err := r.internPattern(req.arg)
+	if err != nil {
+		resp.err = err
+		return resp
+	}
+	owner, ok := r.leastLoaded()
+	if !ok {
+		resp.err = errors.New("shard: no alive shards")
+		return resp
+	}
+	if len(labels) > 0 {
+		resp.pend = r.fanAll(&task{kind: taskLabels, labels: labels})
+	}
+	resp.reg = r.fanTo(owner, &task{kind: taskRegister, name: req.name, pattern: req.arg})
+	r.table.add(req.name, owner)
+	return resp
+}
+
+// label interns one client-requested label locally and, when it is new,
+// syncs it to every shard.
+func (r *router) label(req rreq) rresp {
+	var resp rresp
+	d := r.vdict
+	if req.name == "edge" {
+		d = r.edict
+	}
+	if id, ok := d.Lookup(req.arg); ok {
+		resp.label = id // already cluster-wide; nothing to sync
+		return resp
+	}
+	id := d.Intern(req.arg)
+	resp.label = id
+	resp.pend = r.fanAll(&task{kind: taskLabels, labels: []labelDef{{kind: req.name, name: req.arg, want: id}}})
+	return resp
+}
+
+// internPattern parses the pattern through the coordinator's
+// dictionaries and returns the newly interned labels, in id order, for
+// syncing to the shards.
+func (r *router) internPattern(pattern string) ([]labelDef, error) {
+	v0, e0 := r.vdict.Len(), r.edict.Len()
+	if _, _, err := qlang.Parse(pattern, r.vdict, r.edict); err != nil {
+		return nil, err
+	}
+	var defs []labelDef
+	for i := v0; i < r.vdict.Len(); i++ {
+		l := turboflux.Label(i)
+		defs = append(defs, labelDef{kind: "vertex", name: r.vdict.Name(l), want: l})
+	}
+	for i := e0; i < r.edict.Len(); i++ {
+		l := turboflux.Label(i)
+		defs = append(defs, labelDef{kind: "edge", name: r.edict.Name(l), want: l})
+	}
+	return defs, nil
+}
+
+// leastLoaded picks the alive shard owning the fewest queries (lowest
+// id breaks ties).
+func (r *router) leastLoaded() (int, bool) {
+	best, found := -1, false
+	for _, h := range r.shards {
+		if !h.alive.Load() {
+			continue
+		}
+		if !found || r.table.counts[h.id] < r.table.counts[best] {
+			best, found = h.id, true
+		}
+	}
+	return best, found
+}
+
+// fanAll enqueues one task to every alive shard's FIFO and returns the
+// barrier handle. Dead shards are skipped; a shard dying after the
+// enqueue still replies (with an error), so collect always terminates.
+func (r *router) fanAll(t *task) pending {
+	t.res = make(chan taskResult, len(r.shards))
+	n := 0
+	for _, h := range r.shards {
+		if !h.alive.Load() {
+			continue
+		}
+		h.tasks <- t
+		n++
+	}
+	return pending{n: n, seq: t.seq, res: t.res}
+}
+
+// fanTo enqueues one task to a single shard's FIFO.
+func (r *router) fanTo(shard int, t *task) pending {
+	t.res = make(chan taskResult, 1)
+	r.shards[shard].tasks <- t
+	return pending{n: 1, seq: t.seq, res: t.res}
+}
+
+// statsLines renders the coordinator STATS payload: the cluster line,
+// one line per shard, then one line per query in registration order.
+func (r *router) statsLines() []string {
+	alive := 0
+	for _, h := range r.shards {
+		if h.alive.Load() {
+			alive++
+		}
+	}
+	lines := make([]string, 0, 1+len(r.shards)+len(r.table.order))
+	lines = append(lines, fmt.Sprintf(
+		"cluster role=coordinator shards=%d alive=%d seq=%d updates=%d events=%d conns=%d",
+		len(r.shards), alive, r.seq, r.seq, r.co.events.Load(), r.co.connCount.Load()))
+	lines = r.shardLines(lines)
+	for _, name := range r.table.order {
+		a := r.table.byName[name]
+		lines = append(lines, fmt.Sprintf("query %s shard=%d subs=%d", name, a.shard, a.subs))
+	}
+	return lines
+}
+
+// shardLines renders the per-shard liveness and lag lines (the
+// SHARDSTATS payload, also embedded in STATS).
+func (r *router) shardLines(lines []string) []string {
+	for _, h := range r.shards {
+		applied := h.applied.Load()
+		lines = append(lines, fmt.Sprintf(
+			"shard %d addr=%s alive=%t queries=%d seq=%d lag=%d ping_us=%d misses=%d",
+			h.id, h.addr, h.alive.Load(), r.table.counts[h.id],
+			h.base+applied, r.seq-applied, h.pingUs.Load(), h.misses.Load()))
+	}
+	return lines
+}
+
+// send enqueues req without waiting for a response, failing fast once
+// the router has stopped.
+func (r *router) send(req rreq) error {
+	select {
+	case r.reqCh <- req:
+		return nil
+	case <-r.done:
+		return errCoordClosed
+	}
+}
+
+// call performs one request/response round trip with the router.
+func (r *router) call(req rreq) (rresp, error) {
+	req.reply = make(chan rresp, 1)
+	select {
+	case r.reqCh <- req:
+	case <-r.done:
+		return rresp{}, errCoordClosed
+	}
+	select {
+	case resp := <-req.reply:
+		return resp, nil
+	case <-r.done:
+		// The router drains reqCh before closing done, so a reply may
+		// still have been sent; prefer it over the shutdown error.
+		select {
+		case resp := <-req.reply:
+			return resp, nil
+		default:
+			return rresp{}, errCoordClosed
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package shard implements the TurboFlux sharded cluster tier: a
+// coordinator that partitions registered queries across N shard servers
+// (plain internal/server instances, each holding a full graph replica)
+// and speaks the ordinary line protocol to clients, so a client cannot
+// tell a coordinator from a single server.
+//
+// # Architecture
+//
+// Query-partitioned sharding with full replicas is exact and
+// embarrassingly parallel: every shard applies the complete update
+// stream in the coordinator's total order, but each continuous query is
+// registered on exactly one shard, so the per-update evaluation work —
+// the dominant cost with many registered queries — splits across shards.
+//
+//	clients ──► coordinator (router actor)
+//	               │ REGISTER q → least-loaded shard
+//	               │ updates    → every shard, one FIFO per shard
+//	               ▼
+//	        shard 0 … shard N-1   (turboflux-serve; may lead followers)
+//
+// The router actor owns the placement table and the coordinator
+// sequence counter. Each shard has a fanner goroutine draining a FIFO
+// task queue, so all shards observe the same total order; the router
+// never waits on the network — connection goroutines collect the
+// per-shard acknowledgments. Every ack is checked against the expected
+// per-shard sequence number (attach base + fanned updates): a gap means
+// the shard diverged (someone wrote to it directly) and the shard is
+// marked down, fail-stop. A heartbeat prober pings each shard and marks
+// it down after consecutive misses.
+//
+// Label dictionaries must agree cluster-wide because updates carry
+// numeric label ids. The coordinator parses every REGISTER pattern
+// locally and fans newly interned names to all shards as LABEL requests
+// in id order, asserting the returned ids match; shards must therefore
+// start with dictionaries identical to the coordinator's (normally:
+// empty).
+//
+// Subscriptions are delegated: each coordinator-side SUBSCRIBE opens a
+// dedicated connection to the owning shard and relays its *EVENT lines
+// verbatim, so per-query event order and sequence numbers are exactly
+// the shard's — which, by the total-order fan-out, are exactly a single
+// server's. Slow-consumer policy is the shard's own, applied per
+// subscriber.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"turboflux"
+)
+
+// Defaults for Options' zero values.
+const (
+	defaultDialTimeout       = 2 * time.Second
+	defaultRequestTimeout    = 5 * time.Second
+	defaultHeartbeatInterval = 500 * time.Millisecond
+	defaultHeartbeatMisses   = 3
+	// fannerQueueDepth bounds each shard's pending task FIFO; a full queue
+	// backpressures the router (and through it the writing clients).
+	fannerQueueDepth = 1024
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Shards lists the shard server addresses. At least one is required;
+	// shard ids are positions in this slice.
+	Shards []string
+
+	// VertexLabels / EdgeLabels seed the coordinator's label dictionaries.
+	// They must match the shards' dictionaries exactly (normally both are
+	// empty); divergence is detected on the first LABEL sync and marks the
+	// offending shard down.
+	VertexLabels, EdgeLabels *turboflux.Dict
+
+	// DialTimeout bounds every connect to a shard (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds every request/response exchange with a shard
+	// (default 5s). A timed-out exchange poisons that connection and marks
+	// the shard down, so one hung shard cannot block the router forever.
+	RequestTimeout time.Duration
+	// HeartbeatInterval is the per-shard liveness probe period (default
+	// 500ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many consecutive failed probes mark a shard
+	// down (default 3).
+	HeartbeatMisses int
+}
+
+func (o *Options) setDefaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = defaultDialTimeout
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = defaultRequestTimeout
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = defaultHeartbeatInterval
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = defaultHeartbeatMisses
+	}
+}
+
+// Coordinator is the cluster front end: it accepts the ordinary line
+// protocol and drives the shard fleet. See the package comment for the
+// architecture and New/Listen/Serve/Shutdown for the lifecycle (which
+// mirrors server.Server).
+type Coordinator struct {
+	opt    Options
+	router *router
+	shards []*shardHandle
+
+	ln net.Listener
+
+	mu      sync.Mutex
+	conns   map[*cconn]struct{}
+	connSeq uint64
+
+	connWG    sync.WaitGroup
+	connCount atomic.Int64
+	events    atomic.Uint64 // relayed match events (STATS)
+
+	stopping   chan struct{}
+	stopOnce   sync.Once
+	routerOnce sync.Once
+}
+
+// New connects to every shard and starts the router. All shards must be
+// reachable and writable (a follower shard is rejected); their current
+// sequence numbers become the per-shard ack bases for gap detection.
+func New(opt Options) (*Coordinator, error) {
+	if len(opt.Shards) == 0 {
+		return nil, errors.New("shard: at least one shard address is required")
+	}
+	opt.setDefaults()
+	vdict := opt.VertexLabels
+	if vdict == nil {
+		vdict = turboflux.NewDict()
+	}
+	edict := opt.EdgeLabels
+	if edict == nil {
+		edict = turboflux.NewDict()
+	}
+	co := &Coordinator{
+		opt:      opt,
+		conns:    make(map[*cconn]struct{}),
+		stopping: make(chan struct{}),
+	}
+	for i, addr := range opt.Shards {
+		h, err := attach(i, addr, opt)
+		if err != nil {
+			for _, prev := range co.shards {
+				prev.closeClients()
+			}
+			return nil, fmt.Errorf("shard: attaching shard %d (%s): %w", i, addr, err)
+		}
+		co.shards = append(co.shards, h)
+	}
+	co.router = newRouter(co, vdict, edict)
+	//tf:goroutine shard-router-actor
+	go co.router.run()
+	for _, h := range co.shards {
+		h.start()
+	}
+	return co, nil
+}
+
+// Listen binds the client-facing TCP address (":0" picks a free port).
+func (co *Coordinator) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	co.ln = ln
+	return nil
+}
+
+// Addr returns the bound listener address (nil before Listen).
+func (co *Coordinator) Addr() net.Addr {
+	if co.ln == nil {
+		return nil
+	}
+	return co.ln.Addr()
+}
+
+// Serve accepts client connections until Shutdown. It returns nil on
+// graceful shutdown, or the first fatal accept error.
+func (co *Coordinator) Serve() error {
+	if co.ln == nil {
+		return errors.New("shard: Serve before Listen")
+	}
+	for {
+		nc, err := co.ln.Accept()
+		if err != nil {
+			select {
+			case <-co.stopping:
+				return nil
+			default:
+				return fmt.Errorf("shard: accept: %w", err)
+			}
+		}
+		co.mu.Lock()
+		select {
+		case <-co.stopping:
+			co.mu.Unlock()
+			nc.Close() //tf:unchecked-ok rejecting during shutdown
+			continue
+		default:
+		}
+		co.connSeq++
+		c := newCConn(co, nc, co.connSeq)
+		co.conns[c] = struct{}{}
+		co.mu.Unlock()
+		co.connCount.Add(1)
+		co.connWG.Add(1)
+		//tf:goroutine coordinator-conn-reader
+		go func() {
+			defer co.connWG.Done()
+			c.serve()
+		}()
+	}
+}
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (co *Coordinator) ListenAndServe(addr string) error {
+	if err := co.Listen(addr); err != nil {
+		return err
+	}
+	return co.Serve()
+}
+
+// snapshotConns copies the live connection set under co.mu so callers
+// can touch the sockets without holding the lock.
+func (co *Coordinator) snapshotConns() []*cconn {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	conns := make([]*cconn, 0, len(co.conns))
+	//tf:unordered-ok snapshot; callers' per-conn operations are order-independent
+	for c := range co.conns {
+		conns = append(conns, c)
+	}
+	return conns
+}
+
+func (co *Coordinator) removeConn(c *cconn) {
+	co.mu.Lock()
+	delete(co.conns, c)
+	co.mu.Unlock()
+	co.connCount.Add(-1)
+}
+
+// Shutdown stops the coordinator gracefully: stop accepting, wake every
+// connection reader so in-flight requests finish (their subscription
+// relays close with them), then stop the router — which drains the task
+// queues into the shards and closes the shard clients. If ctx expires
+// first, remaining connections are force-closed and shutdown still
+// completes; ctx's error is reported afterwards.
+func (co *Coordinator) Shutdown(ctx context.Context) error {
+	co.stopOnce.Do(func() {
+		close(co.stopping)
+	})
+	if co.ln != nil {
+		co.ln.Close() //tf:unchecked-ok shutting down
+	}
+	for _, c := range co.snapshotConns() {
+		c.nc.SetReadDeadline(time.Now()) //tf:unchecked-ok best-effort wake
+	}
+
+	connsDone := make(chan struct{})
+	//tf:goroutine shard-shutdown-conn-waiter
+	go func() {
+		co.connWG.Wait()
+		close(connsDone)
+	}()
+	var ctxErr error
+	select {
+	case <-connsDone:
+	case <-ctx.Done():
+		ctxErr = ctx.Err()
+		for _, c := range co.snapshotConns() {
+			c.nc.Close() //tf:unchecked-ok force close
+		}
+		<-connsDone
+	}
+
+	co.routerOnce.Do(func() {
+		close(co.router.stop)
+	})
+	<-co.router.done
+	return ctxErr
+}
