@@ -1,0 +1,119 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+)
+
+// layoutCellSpeedup is the per-cell comparison against the recorded
+// pre-refactor baseline: same (mode, queries) cell, workers=1.
+type layoutCellSpeedup struct {
+	Mode        string  `json:"mode"`
+	Queries     int     `json:"queries"`
+	BaseUpdPerS float64 `json:"baseline_updates_per_s"`
+	CurUpdPerS  float64 `json:"updates_per_s"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// layoutReport is the BENCH_layout.json document: the fanout bench grid
+// restricted to workers=1, measuring raw per-update engine cost — the
+// cell where the dense data-layout refactor (DESIGN.md §16) must pay,
+// because there is no pool parallelism to hide per-update overhead
+// behind.
+type layoutReport struct {
+	GOMAXPROCS int         `json:"gomaxprocs"`
+	Updates    int         `json:"updates_per_cell"`
+	Rows       []fanoutRow `json:"rows"`
+
+	// BaselineFrom names the baseline file the speedups were computed
+	// against (a layoutReport captured on the pre-refactor tree), empty
+	// when no baseline was supplied.
+	BaselineFrom string              `json:"baseline_from,omitempty"`
+	Speedups     []layoutCellSpeedup `json:"speedups,omitempty"`
+	// SpeedupGeomean and SpeedupMin summarize the per-cell speedups: the
+	// acceptance target is geomean >= 2x at workers=1.
+	SpeedupGeomean float64 `json:"speedup_geomean,omitempty"`
+	SpeedupMin     float64 `json:"speedup_min,omitempty"`
+}
+
+// runLayout measures single-worker per-update throughput over the fanout
+// bench grid (both label modes, sweeping registered-query count) and,
+// when a baseline file is given, reports per-cell speedups against it.
+// quick restricts the grid for the CI smoke job.
+func runLayout(out, baselinePath string, updates int, quick bool) error {
+	querySet := []int{1, 2, 4, 8, 16}
+	if quick {
+		querySet = []int{1, 8}
+	}
+	rep := layoutReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Updates: updates}
+	for _, mode := range []string{"disjoint", "shared"} {
+		for _, q := range querySet {
+			// Best of 3 runs, same policy as -exp fanout: cells are short
+			// enough that one GC pause or preemption swings a run by 30%.
+			var row fanoutRow
+			for i := 0; i < 3; i++ {
+				r, err := fanoutCell(mode, q, 1, updates)
+				if err != nil {
+					return err
+				}
+				if i == 0 || r.UpdatesPerS > row.UpdatesPerS {
+					row = r
+				}
+			}
+			rep.Rows = append(rep.Rows, row)
+			fmt.Printf("layout %-8s queries=%-2d workers=1  %9.0f ups/s  p50=%6.1fus p99=%6.1fus\n",
+				mode, q, row.UpdatesPerS, row.P50Us, row.P99Us)
+		}
+	}
+
+	if baselinePath != "" {
+		if err := layoutCompare(&rep, baselinePath); err != nil {
+			return err
+		}
+	}
+	return writeJSON(out, rep)
+}
+
+// layoutCompare fills the speedup section of rep from a baseline report.
+func layoutCompare(rep *layoutReport, baselinePath string) error {
+	data, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("layout baseline: %w", err)
+	}
+	var base layoutReport
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("layout baseline %s: %w", baselinePath, err)
+	}
+	rep.BaselineFrom = baselinePath
+	logSum, n := 0.0, 0
+	min := math.Inf(1)
+	for i := range rep.Rows {
+		cur := &rep.Rows[i]
+		b := findFanoutRow(base.Rows, cur.Mode, cur.Queries, cur.Workers)
+		if b == nil || b.UpdatesPerS <= 0 {
+			continue
+		}
+		sp := cur.UpdatesPerS / b.UpdatesPerS
+		rep.Speedups = append(rep.Speedups, layoutCellSpeedup{
+			Mode: cur.Mode, Queries: cur.Queries,
+			BaseUpdPerS: b.UpdatesPerS, CurUpdPerS: cur.UpdatesPerS, Speedup: sp,
+		})
+		logSum += math.Log(sp)
+		n++
+		if sp < min {
+			min = sp
+		}
+		fmt.Printf("layout speedup %-8s queries=%-2d  %8.0f -> %8.0f ups/s  %.2fx\n",
+			cur.Mode, cur.Queries, b.UpdatesPerS, cur.UpdatesPerS, sp)
+	}
+	if n > 0 {
+		rep.SpeedupGeomean = math.Exp(logSum / float64(n))
+		rep.SpeedupMin = min
+		fmt.Printf("layout speedup vs %s: geomean %.2fx, min %.2fx\n",
+			baselinePath, rep.SpeedupGeomean, rep.SpeedupMin)
+	}
+	return nil
+}

@@ -31,6 +31,10 @@ func main() {
 	serveUpdates := flag.Int("serve-updates", 5000, "updates per client for -exp serve")
 	fanoutOut := flag.String("fanout-out", "BENCH_fanout.json", "report path for -exp fanout")
 	fanoutUpdates := flag.Int("fanout-updates", 100000, "updates per grid cell for -exp fanout")
+	layoutOut := flag.String("layout-out", "BENCH_layout.json", "report path for -exp layout")
+	layoutUpdates := flag.Int("layout-updates", 100000, "updates per grid cell for -exp layout")
+	layoutBaseline := flag.String("layout-baseline", "", "baseline layout report to compute speedups against for -exp layout")
+	layoutQuick := flag.Bool("layout-quick", false, "reduced grid for -exp layout (CI smoke)")
 	batchOut := flag.String("batch-out", "BENCH_batch.json", "report path for -exp batch")
 	batchUpdates := flag.Int("batch-updates", 50000, "updates per grid cell for -exp batch")
 	batchRecords := flag.Int("batch-records", 200000, "WAL record count for the -exp batch recovery row")
@@ -73,6 +77,7 @@ func main() {
 		fmt.Println("durability")
 		fmt.Println("serve")
 		fmt.Println("fanout")
+		fmt.Println("layout")
 		fmt.Println("batch")
 		fmt.Println("replica")
 		fmt.Println("shard")
@@ -107,6 +112,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stdout, "\n[fanout completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *exp == "layout" {
+		start := time.Now()
+		if err := runLayout(*layoutOut, *layoutBaseline, *layoutUpdates, *layoutQuick); err != nil {
+			fmt.Fprintln(os.Stderr, "turboflux-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "\n[layout completed in %s]\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	if *exp == "batch" {

@@ -1,6 +1,6 @@
-// Package analyzers holds the turboflux-vet analyzer suite: ten checks
+// Package analyzers holds the turboflux-vet analyzer suite: eleven checks
 // that machine-enforce TurboFlux invariants the compiler cannot see —
-// six data-flow invariants (DESIGN.md §8) and four concurrency contracts
+// seven data-flow invariants (DESIGN.md §8) and four concurrency contracts
 // (DESIGN.md §13). See those sections for the invariant each check guards
 // and the suppression annotations it honors.
 package analyzers
@@ -20,6 +20,7 @@ func All() []*analysis.Analyzer {
 		DeterministicEmission,
 		EvalReadonly,
 		HotpathAlloc,
+		HotpathMap,
 		UncheckedError,
 		ActorConfinement,
 		GoroutineLifecycle,

@@ -1,0 +1,3 @@
+module turboflux
+
+go 1.22

@@ -1,0 +1,32 @@
+// Package dcg exercises the package-wide rule: DCG maintenance runs only
+// inside evaluation, so every map operation is a finding unless the
+// function is exempted.
+package dcg
+
+import "turboflux/internal/graph"
+
+// DCG mixes a dense slot table with a leftover map index.
+type DCG struct {
+	nodes  []int32
+	slotOf map[graph.VertexID]int32
+}
+
+// Slot looks the vertex up in the map: finding.
+func (d *DCG) Slot(v graph.VertexID) int32 {
+	return d.slotOf[v]
+}
+
+// Validate is a test-support invariant checker, exempted wholesale.
+//
+//tf:map-ok test-support invariant checker
+func (d *DCG) Validate() bool {
+	seen := make(map[int32]bool, len(d.nodes))
+	//tf:unordered-ok duplicate detection is order-free
+	for _, s := range d.slotOf {
+		if seen[s] {
+			return false
+		}
+		seen[s] = true
+	}
+	return true
+}

@@ -1,0 +1,9 @@
+// Package graph is the minimal vertex/label surface the hotpath-map
+// fixture needs.
+package graph
+
+// VertexID identifies a data vertex.
+type VertexID uint32
+
+// Label identifies an edge label.
+type Label uint16

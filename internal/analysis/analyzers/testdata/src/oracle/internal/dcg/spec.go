@@ -1,6 +1,8 @@
 package dcg
 
 // ComputeSpec stands in for the DCG fixpoint oracle.
+//
+//tf:oracle-ok fixpoint oracle, never on the eval path
 func ComputeSpec(n int) map[int]State {
 	out := make(map[int]State, n)
 	for i := 0; i < n; i++ {

@@ -1,0 +1,53 @@
+//go:build !race
+
+package core
+
+import (
+	"testing"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+)
+
+// TestEvalPathAllocs guards the dense-layout contract end to end at the
+// single-engine level (DESIGN.md §16): once warm, an insert/delete cycle
+// that builds and tears down DCG state — root edges, tree-edge branches,
+// slot release and recycling, adjacency-bucket churn — must run without a
+// single allocation. The query's lower branch is never completed, so no
+// matches are emitted and the cycle's work is pure maintenance.
+func TestEvalPathAllocs(t *testing.T) {
+	g := graph.New()
+	for v := graph.VertexID(1); v <= 8; v++ {
+		g.EnsureVertex(v)
+	}
+	// Unlabeled 2-path query: every vertex is a root candidate, label-0
+	// edges build real DCG branches, and the absent label-1 edges keep
+	// every branch implicit (no search, no emission).
+	q := query.NewGraph(3)
+	if err := q.AddEdge(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.AddEdge(1, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	e, err := New(g, q, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycle := func() {
+		for i := graph.VertexID(1); i <= 4; i++ {
+			if _, err := e.InsertEdge(i, 0, i+4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := graph.VertexID(1); i <= 4; i++ {
+			if _, err := e.DeleteEdge(i, 0, i+4); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cycle() // warm: adjacency buckets, DCG slots, scratch arenas
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("insert/delete eval cycle allocates %v per run, want 0", avg)
+	}
+}

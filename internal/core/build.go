@@ -36,9 +36,11 @@ func (e *Engine) buildDCG(u graph.VertexID, v, v2 graph.VertexID) {
 	if e.opt.DisableCheckAndAvoid {
 		key := dcg.EdgeKey{From: v, QV: u, To: v2}
 		if e.visited != nil {
+			//tf:map-ok gated DisableCheckAndAvoid ablation branch
 			if e.visited[key] {
 				return
 			}
+			//tf:map-ok gated DisableCheckAndAvoid ablation branch
 			e.visited[key] = true
 		}
 		e.buildSubtrees(u, v2)

@@ -15,15 +15,8 @@ import (
 //
 //tf:hotpath
 func (e *Engine) deleteEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.VertexID) {
-	for uc := 0; uc < e.q.NumVertices(); uc++ {
-		ucv := graph.VertexID(uc)
-		if ucv == e.tree.Root {
-			continue
-		}
+	for _, ucv := range e.treeSlots(l) {
 		te := e.tree.ParentEdge[ucv]
-		if te.Label != l {
-			continue
-		}
 		parentV, childV := v, v2
 		if !te.Forward {
 			parentV, childV = v2, v
@@ -52,11 +45,8 @@ func (e *Engine) deleteEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.Ver
 	// duplicate avoidance assigns each such solution to its minimum-rank
 	// trigger, and tree triggers rank below non-tree triggers, so any
 	// solution lost here was already reported by a tree trigger.
-	for _, nt := range e.tree.NonTree {
+	for _, nt := range e.nonTreeSlots(l) {
 		qe := e.q.Edge(nt)
-		if qe.Label != l {
-			continue
-		}
 		if !e.d.HasInLabel(v, qe.From) || !e.d.HasInLabel(v2, qe.To) {
 			continue
 		}
@@ -108,7 +98,10 @@ func (e *Engine) clearUpwardsAndEval(u graph.VertexID, v graph.VertexID, uChild 
 	// away, v will have no outgoing explicit edge labeled uChild, so v's
 	// incoming explicit u-edges lose their support.
 	precondition := transit && uChild != graph.NoVertex && e.d.ExplicitOut(v, uChild) == 1
-	parents := e.d.InParents(v, u, true)
+	// Parent snapshot from the engine arena (see buildUpwardsAndEval).
+	mark := len(e.parentScratch)
+	e.parentScratch = e.d.AppendInParents(e.parentScratch, v, u, true)
+	parents := e.parentScratch[mark:]
 	for _, vp := range parents {
 		if u == e.tree.Root {
 			if searchable {
@@ -126,6 +119,7 @@ func (e *Engine) clearUpwardsAndEval(u graph.VertexID, v graph.VertexID, uChild 
 			e.d.MakeTransition(vp, u, v, dcg.Implicit)
 		}
 	}
+	e.parentScratch = e.parentScratch[:mark]
 	if mapped {
 		e.unmapVertex(u)
 	}

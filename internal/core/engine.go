@@ -100,8 +100,43 @@ type Engine struct {
 	// its minimum-rank trigger on deletion (no state destroyed yet).
 	procRank []int
 
-	m    []graph.VertexID       // current mapping; graph.NoVertex = unmapped
-	used map[graph.VertexID]int // data-vertex use counts (isomorphism only)
+	// treeSlotsByLabel[l] lists the child query vertices whose parent tree
+	// edge carries data-edge label l, in ascending vertex order;
+	// nonTreeByLabel[l] likewise lists the non-tree query-edge indexes, in
+	// tree.NonTree order. Precomputed so each update visits only the query
+	// edges its label can match — an update whose label the query never
+	// mentions costs two empty lookups.
+	treeSlotsByLabel [][]graph.VertexID
+	nonTreeByLabel   [][]int
+
+	m []graph.VertexID // current mapping; graph.NoVertex = unmapped
+
+	// iso/useCnt implement the injectivity check of isomorphism semantics:
+	// useCnt[v] counts how many query vertices currently map to data vertex
+	// v, as a dense slice grown on demand (DESIGN.md §16 — no hash maps on
+	// the eval path).
+	iso    bool
+	useCnt []int32
+
+	// rootSeen[v] records that ensureRootEdge already settled vertex v:
+	// either its root DCG edge exists (root edges are never nulled — the
+	// only Null transition, clearDCG, starts strictly below the root) or
+	// v's labels can never match L(u_s) (data-vertex labels are immutable
+	// after creation and vertices are never deleted). Either way the
+	// per-update probe can be skipped forever. Dense by VertexID, grown on
+	// demand; stays valid across order adjustment (the tree root never
+	// changes) and across NaiveEL rebuilds (the spec fixpoint re-creates
+	// every root edge).
+	rootSeen []bool
+
+	// parentScratch is the engine-owned arena the upward traversals carve
+	// their parent snapshots from (mark, append, iterate, truncate): the
+	// recursion only ever appends past its own mark and reads segments
+	// captured before deeper calls, so one grow-only buffer serves the whole
+	// traversal with zero steady-state allocations. The engine is evaluated
+	// by at most one fanout worker at a time, which makes the arena
+	// single-owner by construction.
+	parentScratch []graph.VertexID
 
 	updEdge   graph.Edge // the data edge of the update being processed
 	trigger   int        // query-edge index of the current trigger, -1 = none
@@ -160,19 +195,29 @@ func New(g *graph.Graph, q *query.Graph, opt Options) (*Engine, error) {
 		e.m[i] = graph.NoVertex
 	}
 	if opt.Semantics == Isomorphism {
-		e.used = make(map[graph.VertexID]int)
+		e.iso = true
 	}
 	rank := 0
 	for u := 0; u < q.NumVertices(); u++ {
 		if graph.VertexID(u) == tree.Root {
 			continue
 		}
-		e.procRank[tree.ParentEdge[u].Index] = rank
+		te := tree.ParentEdge[u]
+		e.procRank[te.Index] = rank
 		rank++
+		for int(te.Label) >= len(e.treeSlotsByLabel) {
+			e.treeSlotsByLabel = append(e.treeSlotsByLabel, nil)
+		}
+		e.treeSlotsByLabel[te.Label] = append(e.treeSlotsByLabel[te.Label], graph.VertexID(u))
 	}
 	for _, nt := range tree.NonTree {
 		e.procRank[nt] = rank
 		rank++
+		l := q.Edge(nt).Label
+		for int(l) >= len(e.nonTreeByLabel) {
+			e.nonTreeByLabel = append(e.nonTreeByLabel, nil)
+		}
+		e.nonTreeByLabel[l] = append(e.nonTreeByLabel[l], nt)
 	}
 
 	// Build the initial DCG: a hypothetical edge (v*_s, v_s) insertion for
@@ -386,30 +431,41 @@ func (e *Engine) endOp() int64 {
 }
 
 // mapVertex binds query vertex u to data vertex v in the working mapping.
+//
+//tf:hotpath
 func (e *Engine) mapVertex(u, v graph.VertexID) {
 	e.m[u] = v
-	if e.used != nil {
-		e.used[v]++
+	if e.iso {
+		if int(v) >= len(e.useCnt) {
+			n := int(v) + 1
+			if n < 2*len(e.useCnt) {
+				n = 2 * len(e.useCnt) // amortize repeated growth
+			}
+			nc := make([]int32, n)
+			copy(nc, e.useCnt)
+			e.useCnt = nc
+		}
+		e.useCnt[v]++
 	}
 }
 
 // unmapVertex clears the binding of u.
+//
+//tf:hotpath
 func (e *Engine) unmapVertex(u graph.VertexID) {
 	v := e.m[u]
 	e.m[u] = graph.NoVertex
-	if e.used != nil && v != graph.NoVertex {
-		if e.used[v] <= 1 {
-			delete(e.used, v)
-		} else {
-			e.used[v]--
-		}
+	if e.iso && v != graph.NoVertex {
+		e.useCnt[v]--
 	}
 }
 
 // usable reports whether data vertex v may be bound to one more query
 // vertex under the configured semantics.
+//
+//tf:hotpath
 func (e *Engine) usable(v graph.VertexID) bool {
-	return e.used == nil || e.used[v] == 0
+	return !e.iso || int(v) >= len(e.useCnt) || e.useCnt[v] == 0
 }
 
 // edgeMatchesTreeSlot reports whether data edge (v, l, v2) matches the tree
@@ -447,6 +503,28 @@ func (e *Engine) setTrigger(i int) {
 func (e *Engine) clearTrigger() {
 	e.trigger = -1
 	e.dedupChecks = e.dedupChecks[:0]
+}
+
+// treeSlots returns the child query vertices whose parent tree edge can
+// match a data edge labeled l.
+//
+//tf:hotpath
+func (e *Engine) treeSlots(l graph.Label) []graph.VertexID {
+	if int(l) < len(e.treeSlotsByLabel) {
+		return e.treeSlotsByLabel[l]
+	}
+	return nil
+}
+
+// nonTreeSlots returns the non-tree query-edge indexes whose edge can
+// match a data edge labeled l.
+//
+//tf:hotpath
+func (e *Engine) nonTreeSlots(l graph.Label) []int {
+	if int(l) < len(e.nonTreeByLabel) {
+		return e.nonTreeByLabel[l]
+	}
+	return nil
 }
 
 // report emits the current complete mapping if it survives duplicate

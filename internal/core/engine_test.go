@@ -159,9 +159,9 @@ func TestInsertCompletesBranch(t *testing.T) {
 	}
 	// All DCG edges must now be explicit (Figure 4h analogue).
 	d := e.DCG()
-	for k, s := range d.Snapshot() {
-		if s != dcg.Explicit {
-			t.Errorf("edge %v = %v, want E", k, s)
+	for _, se := range d.Snapshot() {
+		if se.State != dcg.Explicit {
+			t.Errorf("edge %v = %v, want E", se.Key, se.State)
 		}
 	}
 	if err := d.Validate(); err != nil {

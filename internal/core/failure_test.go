@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"slices"
 	"testing"
 
 	"turboflux/internal/graph"
@@ -214,7 +215,7 @@ func TestDeleteEdgeNeverInserted(t *testing.T) {
 		t.Fatalf("n=%d err=%v", n, err)
 	}
 	after := e.DCG().Snapshot()
-	if len(before) != len(after) {
+	if !slices.Equal(before, after) {
 		t.Fatal("DCG changed on no-op delete")
 	}
 }
@@ -265,13 +266,8 @@ func runNaiveELComparison(t *testing.T, seed int64) {
 		}
 		// The rebuilt DCG must agree with the incrementally maintained one.
 		sa, sb := a.DCG().Snapshot(), b.DCG().Snapshot()
-		if len(sa) != len(sb) {
-			t.Fatalf("step %d: DCG size %d vs %d", i, len(sa), len(sb))
-		}
-		for k, s := range sa {
-			if sb[k] != s {
-				t.Fatalf("step %d: DCG[%v] %v vs %v", i, k, s, sb[k])
-			}
+		if !slices.Equal(sa, sb) {
+			t.Fatalf("step %d: DCG snapshots diverge:\n selective %v\n naive     %v", i, sa, sb)
 		}
 	}
 }

@@ -23,16 +23,10 @@ func (e *Engine) insertEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.Ver
 
 	// Tree query edges (Lines 1–10). A tree slot is the parent edge of a
 	// child query vertex uc; the data edge matches it in exactly one
-	// orientation.
-	for uc := 0; uc < e.q.NumVertices(); uc++ {
-		ucv := graph.VertexID(uc)
-		if ucv == e.tree.Root {
-			continue
-		}
+	// orientation. The label index pre-filters to the slots this edge can
+	// match, in ascending child-vertex order.
+	for _, ucv := range e.treeSlots(l) {
 		te := e.tree.ParentEdge[ucv]
-		if te.Label != l {
-			continue
-		}
 		parentV, childV := v, v2
 		if !te.Forward {
 			parentV, childV = v2, v
@@ -63,11 +57,8 @@ func (e *Engine) insertEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.Ver
 
 	// Non-tree query edges (Lines 11–18): they seed a transition-free
 	// upward traversal from the From-endpoint.
-	for _, nt := range e.tree.NonTree {
+	for _, nt := range e.nonTreeSlots(l) {
 		qe := e.q.Edge(nt)
-		if qe.Label != l {
-			continue
-		}
 		// The data edge is directed, so m(qe.From)=v and m(qe.To)=v2.
 		if !e.d.HasInLabel(v, qe.From) || !e.d.HasInLabel(v2, qe.To) {
 			continue
@@ -96,14 +87,37 @@ func (e *Engine) insertEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.Ver
 //
 //tf:hotpath
 func (e *Engine) ensureRootEdge(w graph.VertexID) {
+	if int(w) < len(e.rootSeen) && e.rootSeen[w] {
+		return
+	}
 	us := e.tree.Root
-	if e.d.GetState(graph.NoVertex, us, w) != dcg.Null {
-		return
+	if e.d.GetState(graph.NoVertex, us, w) == dcg.Null {
+		if !e.g.HasAllLabels(w, e.q.Labels(us)) {
+			e.markRootSeen(w) // labels are immutable: never a candidate
+			return
+		}
+		e.buildDCG(us, graph.NoVertex, w)
+		if e.aborted {
+			return // budget abort mid-build: re-probe on the next update
+		}
 	}
-	if !e.g.HasAllLabels(w, e.q.Labels(us)) {
-		return
+	e.markRootSeen(w)
+}
+
+// markRootSeen records that w's root edge is settled (see Engine.rootSeen).
+//
+//tf:hotpath
+func (e *Engine) markRootSeen(w graph.VertexID) {
+	if int(w) >= len(e.rootSeen) {
+		n := int(w) + 1
+		if n < 2*len(e.rootSeen) {
+			n = 2 * len(e.rootSeen)
+		}
+		ns := make([]bool, n)
+		copy(ns, e.rootSeen)
+		e.rootSeen = ns
 	}
-	e.buildDCG(us, graph.NoVertex, w)
+	e.rootSeen[w] = true
 }
 
 // buildUpwardsAndEval is Algorithm 6: map u to v, upgrade v's incoming
@@ -135,7 +149,12 @@ func (e *Engine) buildUpwardsAndEval(u graph.VertexID, v graph.VertexID, transit
 			mapped = true
 		}
 	}
-	parents := e.d.InParents(v, u, false)
+	// Parent snapshot from the engine arena: transitions below mutate v's
+	// in-edges, so the list is copied out first. The recursion appends past
+	// this segment and truncates back, never touching it.
+	mark := len(e.parentScratch)
+	e.parentScratch = e.d.AppendInParents(e.parentScratch, v, u, false)
+	parents := e.parentScratch[mark:]
 	for _, vp := range parents {
 		if transit && e.d.GetState(vp, u, v) == dcg.Implicit {
 			e.d.MakeTransition(vp, u, v, dcg.Explicit)
@@ -151,6 +170,7 @@ func (e *Engine) buildUpwardsAndEval(u graph.VertexID, v graph.VertexID, transit
 			e.buildUpwardsAndEval(up, vp, transit, searchable)
 		}
 	}
+	e.parentScratch = e.parentScratch[:mark]
 	if mapped {
 		e.unmapVertex(u)
 	}

@@ -123,7 +123,7 @@ func TestDifferentialUnlabeled(t *testing.T) {
 					seed, step, up.Op, up.Edge, got, want, q)
 			}
 			spec := dcg.ComputeSpec(eng.Graph(), eng.Tree())
-			snap := eng.DCG().Snapshot()
+			snap := eng.DCG().SnapshotMap()
 			if len(spec) != len(snap) {
 				t.Fatalf("seed %d step %d: DCG %d edges vs spec %d", seed, step, len(snap), len(spec))
 			}

@@ -170,7 +170,7 @@ func runDifferentialOpts(t *testing.T, seed int64, injective bool, steps int, mu
 
 		// DCG must equal the declarative fixpoint.
 		spec := dcg.ComputeSpec(eng.Graph(), eng.Tree())
-		snap := eng.DCG().Snapshot()
+		snap := eng.DCG().SnapshotMap()
 		if len(spec) != len(snap) {
 			t.Fatalf("seed %d step %d: DCG has %d edges, spec %d\nsnap=%v\nspec=%v\nquery %v",
 				seed, step, len(snap), len(spec), snap, spec, q)

@@ -14,13 +14,29 @@
 // NULL edges are never stored. Edges whose label is the root u_s emanate
 // from the artificial source v*_s, represented here by graph.NoVertex.
 //
-// The concrete layout follows Section 3.1: each participating data vertex
-// owns its incoming DCG edges grouped by query-vertex label, plus a
-// per-label count of outgoing EXPLICIT edges — the paper's bitmap — so that
-// MatchAllChildren is O(|Children(u)|) integer tests.
+// Data layout (DESIGN.md §16): the DCG is a dense slot-interned structure
+// with no hash maps anywhere on the update/eval path, mirroring the flat
+// vector + edge-index layout of the reference C++ implementations. A
+// vertex interner maps each participating data vertex to a compact slot;
+// deleted slots are recycled through a free list with an epoch stamp so
+// future cross-query caches can detect stale slot references. Each slot
+// owns, per query-vertex label u':
+//
+//   - a sorted in-edge list (parent, state, outPos) searched by binary
+//     search — ascending parent order also makes every parent enumeration
+//     deterministic without per-call sorting;
+//   - an explicit-children array (the candidate list SubgraphSearch
+//     enumerates), maintained in O(1) by swap-remove through the outPos
+//     back-index each Explicit in-edge carries, the eidx_ idiom of the
+//     reference implementation.
+//
+// The per-label explicit-out count — the paper's bitmap bit — is simply
+// the length of the explicit-children array, so MatchAllChildren stays
+// O(|Children(u)|) integer tests.
 package dcg
 
 import (
+	"cmp"
 	"fmt"
 	"slices"
 
@@ -60,57 +76,73 @@ func (s State) String() string {
 // overhead.
 const EdgeBytes = 16
 
-// outAdj is a set of explicit children supporting O(1) add/remove and
-// allocation-free slice iteration (Go map iteration pays a per-iteration
-// randomization cost that dominates small hot loops).
-type outAdj struct {
-	list []graph.VertexID
-	pos  map[graph.VertexID]int32
+// inEdge is one stored incoming DCG edge of a vertex: the parent data
+// vertex (graph.NoVertex for root edges), the edge state, and — when the
+// state is Explicit and the parent is a real vertex — the index of this
+// child in the parent's explicit-children array, so leaving Explicit
+// swap-removes the parent-side entry without searching it.
+type inEdge struct {
+	parent graph.VertexID
+	outPos int32
+	state  State
 }
 
+// searchIn returns the position of parent p in the sorted in-edge list l
+// and whether it is present; an absent parent maps to its insertion
+// position. graph.NoVertex is the maximum VertexID, so root edges sort
+// last.
+//
 //tf:hotpath
-func (a *outAdj) add(v graph.VertexID) {
-	if a.pos == nil {
-		a.pos = make(map[graph.VertexID]int32)
+func searchIn(l []inEdge, p graph.VertexID) (int, bool) {
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid].parent < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	a.pos[v] = int32(len(a.list))
-	a.list = append(a.list, v)
+	return lo, lo < len(l) && l[lo].parent == p
 }
 
-//tf:hotpath
-func (a *outAdj) remove(v graph.VertexID) {
-	i, ok := a.pos[v]
-	if !ok {
-		return
-	}
-	last := int32(len(a.list) - 1)
-	moved := a.list[last]
-	a.list[i] = moved
-	a.pos[moved] = i
-	a.list = a.list[:last]
-	delete(a.pos, v)
-}
+// inShrinkMin is the smallest in-edge backing-array capacity delete
+// compaction bothers with; inKeepEmpty is the largest backing array a
+// fully drained list retains for alloc-free churn around zero (same
+// policy as the graph's adjacency lists).
+const (
+	inShrinkMin = 16
+	inKeepEmpty = 4
+)
 
-// node holds the per-data-vertex DCG storage.
+// node holds the per-slot DCG storage of one participating data vertex.
+// A released slot keeps its (emptied) per-label arrays so recycling it
+// for a new vertex allocates nothing.
 type node struct {
-	// in[u'] maps parent data vertex -> state of DCG edge (parent, u', v).
-	// For the root label u_s the parent is graph.NoVertex (v*_s).
-	in []map[graph.VertexID]State
+	// in[u'] lists the stored incoming edges labeled u', sorted by parent.
+	in [][]inEdge
 	// out[u'] holds this vertex's EXPLICIT children labeled u', for the
 	// forward enumeration of SubgraphSearch (candidates come straight from
-	// the DCG, never by filtering data-graph adjacency).
-	out []outAdj
-	// outExplicit[u'] counts outgoing EXPLICIT edges of this vertex labeled
-	// u'. outExplicit[u'] > 0 is the paper's bitmap bit.
-	outExplicit []int32
+	// the DCG, never by filtering data-graph adjacency). len(out[u']) is
+	// the paper's bitmap bit / explicit-out counter.
+	out [][]graph.VertexID
+	// inTotal/outTotal track total stored in-edges and explicit children
+	// across labels; the slot is recycled when both reach zero.
+	inTotal  int32
+	outTotal int32
 }
 
 // DCG is the data-centric graph for one query tree. The zero value is not
 // usable; call New.
 type DCG struct {
-	tree  *query.Tree
-	nq    int
-	nodes map[graph.VertexID]*node
+	tree *query.Tree
+	nq   int
+
+	slotOf []int32          // data vertex -> interner slot, -1 when absent
+	vids   []graph.VertexID // slot -> data vertex, NoVertex when free
+	epoch  []uint32         // slot -> epoch, bumped each time the slot is recycled
+	nodes  []node           // slot-indexed storage
+	free   []uint32         // recycled slots (LIFO)
 
 	numEdges    int     // stored (implicit + explicit) edges
 	numExplicit int     // stored explicit edges
@@ -122,7 +154,6 @@ func New(t *query.Tree) *DCG {
 	return &DCG{
 		tree:        t,
 		nq:          t.Q.NumVertices(),
-		nodes:       make(map[graph.VertexID]*node),
 		explByLabel: make([]int64, t.Q.NumVertices()),
 	}
 }
@@ -130,17 +161,66 @@ func New(t *query.Tree) *DCG {
 // Tree returns the query tree this DCG indexes.
 func (d *DCG) Tree() *query.Tree { return d.tree }
 
-func (d *DCG) getNode(v graph.VertexID) *node {
-	n := d.nodes[v]
-	if n == nil {
-		n = &node{
-			in:          make([]map[graph.VertexID]State, d.nq),
-			out:         make([]outAdj, d.nq),
-			outExplicit: make([]int32, d.nq),
-		}
-		d.nodes[v] = n
+// slot returns the interner slot of v, or -1. graph.NoVertex never has a
+// slot (its index exceeds any slotOf length).
+//
+//tf:hotpath
+func (d *DCG) slot(v graph.VertexID) int32 {
+	if int(v) < len(d.slotOf) {
+		return d.slotOf[v]
 	}
-	return n
+	return -1
+}
+
+// ensureSlot returns v's slot, interning it if absent: recycled slots are
+// reused (bumping nothing — the epoch was stamped at release), otherwise a
+// fresh slot is appended.
+func (d *DCG) ensureSlot(v graph.VertexID) int32 {
+	if int(v) >= len(d.slotOf) {
+		n := int(v) + 1
+		if n < 2*len(d.slotOf) {
+			n = 2 * len(d.slotOf) // amortize repeated growth
+		}
+		ns := make([]int32, n)
+		copy(ns, d.slotOf)
+		for i := len(d.slotOf); i < n; i++ {
+			ns[i] = -1
+		}
+		d.slotOf = ns
+	}
+	if s := d.slotOf[v]; s >= 0 {
+		return s
+	}
+	var s int32
+	if n := len(d.free); n > 0 {
+		s = int32(d.free[n-1])
+		d.free = d.free[:n-1]
+	} else {
+		s = int32(len(d.nodes))
+		d.nodes = append(d.nodes, node{
+			in:  make([][]inEdge, d.nq),
+			out: make([][]graph.VertexID, d.nq),
+		})
+		d.vids = append(d.vids, graph.NoVertex)
+		d.epoch = append(d.epoch, 0)
+	}
+	d.vids[s] = v
+	d.slotOf[v] = s
+	return s
+}
+
+// maybeRelease recycles slot s when its vertex no longer stores any
+// in-edge or explicit child: the slot goes on the free list with a bumped
+// epoch, invalidating any (slot, epoch) reference a cache may hold.
+func (d *DCG) maybeRelease(s int32) {
+	n := &d.nodes[s]
+	if n.inTotal != 0 || n.outTotal != 0 || d.vids[s] == graph.NoVertex {
+		return
+	}
+	d.slotOf[d.vids[s]] = -1
+	d.vids[s] = graph.NoVertex
+	d.epoch[s]++
+	d.free = append(d.free, uint32(s))
 }
 
 // GetState returns the state of DCG edge (v, u, v2). Use graph.NoVertex as
@@ -148,11 +228,15 @@ func (d *DCG) getNode(v graph.VertexID) *node {
 //
 //tf:hotpath
 func (d *DCG) GetState(v graph.VertexID, u graph.VertexID, v2 graph.VertexID) State {
-	n := d.nodes[v2]
-	if n == nil || n.in[u] == nil {
+	s := d.slot(v2)
+	if s < 0 {
 		return Null
 	}
-	return n.in[u][v]
+	l := d.nodes[s].in[u]
+	if i, ok := searchIn(l, v); ok {
+		return l[i].state
+	}
+	return Null
 }
 
 // MakeTransition sets the state of DCG edge (v, u, v2) to target and
@@ -162,45 +246,101 @@ func (d *DCG) GetState(v graph.VertexID, u graph.VertexID, v2 graph.VertexID) St
 //
 //tf:hotpath
 func (d *DCG) MakeTransition(v graph.VertexID, u graph.VertexID, v2 graph.VertexID, target State) bool {
-	cur := d.GetState(v, u, v2)
+	s2 := d.slot(v2)
+	idx := 0
+	cur := Null
+	if s2 >= 0 {
+		var ok bool
+		idx, ok = searchIn(d.nodes[s2].in[u], v)
+		if ok {
+			cur = d.nodes[s2].in[u][idx].state
+		}
+	}
 	if cur == target {
 		return false
 	}
-	// Update storage.
-	if target == Null {
-		n := d.nodes[v2]
-		delete(n.in[u], v)
-	} else {
-		n := d.getNode(v2)
-		if n.in[u] == nil {
-			n.in[u] = make(map[graph.VertexID]State)
-		}
-		n.in[u][v] = target
-	}
-	// Update counters.
-	if cur == Null {
-		d.numEdges++
-	}
-	if target == Null {
-		d.numEdges--
-	}
+
+	// Leaving Explicit: swap-remove v2 from the parent's explicit-children
+	// array through the outPos back-index, fixing up the moved element's
+	// own back-pointer. Must run before the in-edge entry (holding outPos)
+	// is removed or overwritten.
 	if cur == Explicit {
 		d.numExplicit--
 		d.explByLabel[u]--
 		if v != graph.NoVertex {
-			pn := d.getNode(v)
-			pn.outExplicit[u]--
-			pn.out[u].remove(v2)
+			op := d.nodes[s2].in[u][idx].outPos
+			pn := &d.nodes[d.slot(v)] // parent owns an out entry, so it has a slot
+			list := pn.out[u]
+			last := len(list) - 1
+			moved := list[last]
+			list[op] = moved
+			pn.out[u] = list[:last]
+			pn.outTotal--
+			if moved != v2 {
+				ml := d.nodes[d.slot(moved)].in[u]
+				j, _ := searchIn(ml, v)
+				ml[j].outPos = op
+			}
 		}
 	}
+
+	// Update v2's in-edge storage.
+	switch {
+	case target == Null: // cur != Null: remove, keeping the list sorted
+		n := &d.nodes[s2]
+		l := n.in[u]
+		copy(l[idx:], l[idx+1:])
+		l = l[:len(l)-1]
+		switch {
+		case len(l) == 0 && cap(l) > inKeepEmpty:
+			n.in[u] = nil
+		case cap(l) >= inShrinkMin && len(l)*4 <= cap(l):
+			nl := make([]inEdge, len(l), cap(l)/2)
+			copy(nl, l)
+			n.in[u] = nl
+		default:
+			n.in[u] = l
+		}
+		n.inTotal--
+		d.numEdges--
+	case cur == Null: // insert at the sorted position
+		if s2 < 0 {
+			s2 = d.ensureSlot(v2)
+			idx = 0
+		}
+		n := &d.nodes[s2]
+		l := append(n.in[u], inEdge{})
+		copy(l[idx+1:], l[idx:])
+		l[idx] = inEdge{parent: v, state: target, outPos: -1}
+		n.in[u] = l
+		n.inTotal++
+		d.numEdges++
+	default: // Implicit <-> Explicit: in place
+		d.nodes[s2].in[u][idx].state = target
+	}
+
+	// Entering Explicit: append v2 to the parent's explicit-children array
+	// and record the back-index on the in-edge entry. ensureSlot may grow
+	// d.nodes, so slot pointers are re-resolved after it.
 	if target == Explicit {
 		d.numExplicit++
 		d.explByLabel[u]++
 		if v != graph.NoVertex {
-			pn := d.getNode(v)
-			pn.outExplicit[u]++
-			pn.out[u].add(v2)
+			ps := d.ensureSlot(v)
+			pn := &d.nodes[ps]
+			pn.out[u] = append(pn.out[u], v2)
+			pn.outTotal++
+			d.nodes[s2].in[u][idx].outPos = int32(len(pn.out[u]) - 1)
 		}
+	}
+
+	// Recycle emptied slots: v2 after an in-edge removal, the parent after
+	// losing its last explicit child.
+	if cur == Explicit && target != Explicit && v != graph.NoVertex {
+		d.maybeRelease(d.slot(v))
+	}
+	if target == Null {
+		d.maybeRelease(s2)
 	}
 	return true
 }
@@ -210,48 +350,55 @@ func (d *DCG) MakeTransition(v graph.VertexID, u graph.VertexID, v2 graph.Vertex
 //
 //tf:hotpath
 func (d *DCG) InDegree(v2 graph.VertexID, u graph.VertexID) int {
-	n := d.nodes[v2]
-	if n == nil || n.in[u] == nil {
+	s := d.slot(v2)
+	if s < 0 {
 		return 0
 	}
-	return len(n.in[u])
+	return len(d.nodes[s].in[u])
 }
 
-// ForEachInEdge calls fn for every stored incoming edge (parent, u, v2)
-// in unspecified order — callers must not derive emission order from it.
-// fn must not mutate the DCG for edges labeled u of v2; engines that need
-// to mutate during iteration snapshot the parents first (see InParents).
+// ForEachInEdge calls fn for every stored incoming edge (parent, u, v2) in
+// ascending parent order (root edges from graph.NoVertex last). fn must
+// not mutate the DCG for edges labeled u of v2; engines that need to
+// mutate during iteration snapshot the parents first (see AppendInParents).
 func (d *DCG) ForEachInEdge(v2 graph.VertexID, u graph.VertexID, fn func(parent graph.VertexID, s State)) {
-	n := d.nodes[v2]
-	if n == nil || n.in[u] == nil {
+	s := d.slot(v2)
+	if s < 0 {
 		return
 	}
-	//tf:unordered-ok documented order-free; ordered callers use InParents
-	for p, s := range n.in[u] {
-		fn(p, s)
+	for _, e := range d.nodes[s].in[u] {
+		fn(e.parent, e.state)
 	}
 }
 
-// InParents returns a snapshot of the parents of v2's stored incoming
-// edges labeled u, optionally restricted to explicit edges, in ascending
-// vertex order. The upward traversals climb these snapshots on the way to
-// reporting matches, so their order must not inherit Go's randomized map
-// iteration — sorting here is what makes match emission reproducible for
-// a given update stream.
-func (d *DCG) InParents(v2 graph.VertexID, u graph.VertexID, explicitOnly bool) []graph.VertexID {
-	n := d.nodes[v2]
-	if n == nil || n.in[u] == nil {
-		return nil
+// AppendInParents appends the parents of v2's stored incoming edges
+// labeled u to dst, optionally restricted to explicit edges, in ascending
+// vertex order, and returns the extended slice. The upward traversals
+// climb these snapshots on the way to reporting matches, so their order
+// must be reproducible for a given update stream — the sorted in-edge
+// layout provides that without per-call sorting or allocation (callers
+// pass a reusable scratch buffer).
+//
+//tf:hotpath
+func (d *DCG) AppendInParents(dst []graph.VertexID, v2 graph.VertexID, u graph.VertexID, explicitOnly bool) []graph.VertexID {
+	s := d.slot(v2)
+	if s < 0 {
+		return dst
 	}
-	out := make([]graph.VertexID, 0, len(n.in[u]))
-	for p, s := range n.in[u] {
-		if explicitOnly && s != Explicit {
+	for _, e := range d.nodes[s].in[u] {
+		if explicitOnly && e.state != Explicit {
 			continue
 		}
-		out = append(out, p)
+		dst = append(dst, e.parent)
 	}
-	slices.Sort(out)
-	return out
+	return dst
+}
+
+// InParents returns a freshly allocated snapshot of the parents of v2's
+// stored incoming edges labeled u, in ascending vertex order. Hot paths
+// use AppendInParents with a reused buffer instead.
+func (d *DCG) InParents(v2 graph.VertexID, u graph.VertexID, explicitOnly bool) []graph.VertexID {
+	return d.AppendInParents(nil, v2, u, explicitOnly)
 }
 
 // HasInLabel reports whether v has at least one stored incoming edge
@@ -263,15 +410,15 @@ func (d *DCG) HasInLabel(v graph.VertexID, u graph.VertexID) bool {
 }
 
 // InLabels returns the set U of query vertices u such that v has at least
-// one stored incoming edge labeled u.
+// one stored incoming edge labeled u, in ascending label order.
 func (d *DCG) InLabels(v graph.VertexID) []graph.VertexID {
-	n := d.nodes[v]
-	if n == nil {
+	s := d.slot(v)
+	if s < 0 {
 		return nil
 	}
 	var out []graph.VertexID
-	for u, m := range n.in {
-		if len(m) > 0 {
+	for u, l := range d.nodes[s].in {
+		if len(l) > 0 {
 			out = append(out, graph.VertexID(u))
 		}
 	}
@@ -282,26 +429,27 @@ func (d *DCG) InLabels(v graph.VertexID) []graph.VertexID {
 //
 //tf:hotpath
 func (d *DCG) ExplicitOut(v graph.VertexID, u graph.VertexID) int32 {
-	n := d.nodes[v]
-	if n == nil {
+	s := d.slot(v)
+	if s < 0 {
 		return 0
 	}
-	return n.outExplicit[u]
+	return int32(len(d.nodes[s].out[u]))
 }
 
 // MatchAllChildren reports whether, for every child u' of u in the query
 // tree, v has an outgoing EXPLICIT edge labeled u' (Algorithm 4). O(1) per
-// child via the explicit-out counters.
+// child via the explicit-children array lengths.
 //
 //tf:hotpath
 func (d *DCG) MatchAllChildren(v graph.VertexID, u graph.VertexID) bool {
-	n := d.nodes[v]
 	children := d.tree.Children[u]
-	if n == nil {
+	s := d.slot(v)
+	if s < 0 {
 		return len(children) == 0
 	}
+	n := &d.nodes[s]
 	for _, c := range children {
-		if n.outExplicit[c] == 0 {
+		if len(n.out[c]) == 0 {
 			return false
 		}
 	}
@@ -311,8 +459,8 @@ func (d *DCG) MatchAllChildren(v graph.VertexID, u graph.VertexID) bool {
 // ExplicitChildren enumerates the explicit out-neighbors of v labeled u:
 // the data vertices v' with GetState(v, u, v') == Explicit. This is the
 // candidate enumeration used by SubgraphSearch (Algorithm 7, Line 15).
-// Candidates come straight from the DCG's out-adjacency — never by
-// filtering data-graph neighbors — which keeps the search cost
+// Candidates come straight from the DCG's explicit-children arrays — never
+// by filtering data-graph neighbors — which keeps the search cost
 // proportional to the number of candidates, not the vertex degree.
 //
 //tf:hotpath
@@ -322,11 +470,11 @@ func (d *DCG) ExplicitChildren(v graph.VertexID, u graph.VertexID, fn func(v2 gr
 		// root edges instead (only valid when v == graph.NoVertex).
 		panic("dcg: ExplicitChildren must not be called for the root label")
 	}
-	n := d.nodes[v]
-	if n == nil {
+	s := d.slot(v)
+	if s < 0 {
 		return
 	}
-	for _, v2 := range n.out[u].list {
+	for _, v2 := range d.nodes[s].out[u] {
 		if !fn(v2) {
 			return
 		}
@@ -340,11 +488,11 @@ func (d *DCG) ExplicitChildren(v graph.VertexID, u graph.VertexID, fn func(v2 gr
 //
 //tf:hotpath
 func (d *DCG) ExplicitChildrenList(v graph.VertexID, u graph.VertexID) []graph.VertexID {
-	n := d.nodes[v]
-	if n == nil {
+	s := d.slot(v)
+	if s < 0 {
 		return nil
 	}
-	return n.out[u].list
+	return d.nodes[s].out[u]
 }
 
 // RootCandidates returns the data vertices v_s whose root edge
@@ -355,11 +503,18 @@ func (d *DCG) ExplicitChildrenList(v graph.VertexID, u graph.VertexID) []graph.V
 func (d *DCG) RootCandidates(explicitOnly bool) []graph.VertexID {
 	var out []graph.VertexID
 	us := d.tree.Root
-	for v, n := range d.nodes {
-		if n.in[us] == nil {
+	for s := range d.nodes {
+		v := d.vids[s]
+		if v == graph.NoVertex {
+			continue // recycled slot
+		}
+		l := d.nodes[s].in[us]
+		// Root edges come from graph.NoVertex, the maximum VertexID, so a
+		// stored root edge is always the last in-edge.
+		if len(l) == 0 || l[len(l)-1].parent != graph.NoVertex {
 			continue
 		}
-		if s, ok := n.in[us][graph.NoVertex]; ok && (!explicitOnly || s == Explicit) {
+		if !explicitOnly || l[len(l)-1].state == Explicit {
 			out = append(out, v)
 		}
 	}
@@ -383,36 +538,121 @@ func (d *DCG) ExplicitCount(u graph.VertexID) int64 { return d.explByLabel[u] }
 // comparisons: stored edges times EdgeBytes.
 func (d *DCG) SizeBytes() int64 { return int64(d.numEdges) * EdgeBytes }
 
-// Validate checks internal consistency: per-label explicit counts,
-// per-vertex explicit-out counters and the total counters must agree with
-// the stored maps. It returns the first inconsistency found. Tests and the
-// failure-injection suite call this after every update.
+// slotStats returns interner occupancy: slots ever allocated and slots
+// currently on the free list. Tests use it to pin recycling behavior.
+func (d *DCG) slotStats() (slots, free int) {
+	return len(d.nodes), len(d.free)
+}
+
+// Validate checks internal consistency: the sorted-in-edge invariant, the
+// explicit-children arrays with their outPos back-indexes, the interner
+// (slotOf/vids agreement, free-list hygiene), and the per-label and total
+// counters must all agree with the stored edges. It returns the first
+// inconsistency found. Tests and the failure-injection suite call this
+// after every update.
+//
+//tf:map-ok test-support invariant checker, never on the eval path
 func (d *DCG) Validate() error {
+	if len(d.vids) != len(d.nodes) || len(d.epoch) != len(d.nodes) {
+		return fmt.Errorf("dcg: interner arrays out of sync: %d nodes, %d vids, %d epochs",
+			len(d.nodes), len(d.vids), len(d.epoch))
+	}
+	onFree := make(map[int32]bool, len(d.free))
+	for _, s := range d.free {
+		if int(s) >= len(d.nodes) {
+			return fmt.Errorf("dcg: free slot %d out of range", s)
+		}
+		if onFree[int32(s)] {
+			return fmt.Errorf("dcg: slot %d on the free list twice", s)
+		}
+		onFree[int32(s)] = true
+	}
+	for v, s := range d.slotOf {
+		if s < 0 {
+			continue
+		}
+		if int(s) >= len(d.nodes) {
+			return fmt.Errorf("dcg: slotOf[%d]=%d out of range", v, s)
+		}
+		if d.vids[s] != graph.VertexID(v) {
+			return fmt.Errorf("dcg: slotOf[%d]=%d but vids[%d]=%d", v, s, s, d.vids[s])
+		}
+	}
 	edges, explicit := 0, 0
 	explByLabel := make([]int64, d.nq)
-	outExpl := make(map[graph.VertexID][]int32)
-	//tf:unordered-ok recounting into totals is order-independent
-	for v2, n := range d.nodes {
-		for u, m := range n.in {
-			//tf:unordered-ok recounting into totals is order-independent
-			for p, s := range m {
-				if s == Null {
-					return fmt.Errorf("dcg: stored NULL edge (%d,%d,%d)", p, u, v2)
-				}
-				edges++
-				if s == Explicit {
-					explicit++
-					explByLabel[u]++
-					if p != graph.NoVertex {
-						oe := outExpl[p]
-						if oe == nil {
-							oe = make([]int32, d.nq)
-							outExpl[p] = oe
-						}
-						oe[u]++
-					}
+	for s := range d.nodes {
+		n := &d.nodes[s]
+		v2 := d.vids[s]
+		if v2 == graph.NoVertex {
+			if !onFree[int32(s)] {
+				return fmt.Errorf("dcg: slot %d has no vertex but is not on the free list", s)
+			}
+			if n.inTotal != 0 || n.outTotal != 0 {
+				return fmt.Errorf("dcg: free slot %d has inTotal=%d outTotal=%d", s, n.inTotal, n.outTotal)
+			}
+			for u := 0; u < d.nq; u++ {
+				if len(n.in[u]) != 0 || len(n.out[u]) != 0 {
+					return fmt.Errorf("dcg: free slot %d stores edges under label %d", s, u)
 				}
 			}
+			continue
+		}
+		if onFree[int32(s)] {
+			return fmt.Errorf("dcg: live slot %d (vertex %d) is on the free list", s, v2)
+		}
+		if int(v2) >= len(d.slotOf) || d.slotOf[v2] != int32(s) {
+			return fmt.Errorf("dcg: vids[%d]=%d but slotOf does not point back", s, v2)
+		}
+		inTotal, outTotal := int32(0), int32(0)
+		for u := 0; u < d.nq; u++ {
+			l := n.in[u]
+			inTotal += int32(len(l))
+			outTotal += int32(len(n.out[u]))
+			for i, e := range l {
+				if i > 0 && l[i-1].parent >= e.parent {
+					return fmt.Errorf("dcg: in-edges of (%d, u%d) not strictly sorted at %d", v2, u, i)
+				}
+				if e.state == Null {
+					return fmt.Errorf("dcg: stored NULL edge (%d,%d,%d)", e.parent, u, v2)
+				}
+				edges++
+				if e.state != Explicit {
+					continue
+				}
+				explicit++
+				explByLabel[u]++
+				if e.parent == graph.NoVertex {
+					continue
+				}
+				ps := d.slot(e.parent)
+				if ps < 0 {
+					return fmt.Errorf("dcg: explicit edge (%d,%d,%d) but parent has no slot", e.parent, u, v2)
+				}
+				plist := d.nodes[ps].out[u]
+				if e.outPos < 0 || int(e.outPos) >= len(plist) || plist[e.outPos] != v2 {
+					return fmt.Errorf("dcg: outPos back-index broken at (%d,%d,%d)", e.parent, u, v2)
+				}
+			}
+			for i, c := range n.out[u] {
+				cs := d.slot(c)
+				if cs < 0 {
+					return fmt.Errorf("dcg: explicit child (%d,%d,%d) has no slot", v2, u, c)
+				}
+				cl := d.nodes[cs].in[u]
+				j, ok := searchIn(cl, v2)
+				if !ok || cl[j].state != Explicit {
+					return fmt.Errorf("dcg: out-adjacency (%d,%d,%d) not explicit", v2, u, c)
+				}
+				if cl[j].outPos != int32(i) {
+					return fmt.Errorf("dcg: out-adjacency position index broken at (%d,%d,%d)", v2, u, c)
+				}
+			}
+		}
+		if inTotal != n.inTotal || outTotal != n.outTotal {
+			return fmt.Errorf("dcg: slot %d totals in=%d/%d out=%d/%d", s, n.inTotal, inTotal, n.outTotal, outTotal)
+		}
+		if inTotal == 0 && outTotal == 0 {
+			return fmt.Errorf("dcg: empty slot %d (vertex %d) was not recycled", s, v2)
 		}
 	}
 	if edges != d.numEdges {
@@ -426,47 +666,58 @@ func (d *DCG) Validate() error {
 			return fmt.Errorf("dcg: explByLabel[%d]=%d, stored=%d", u, d.explByLabel[u], explByLabel[u])
 		}
 	}
-	//tf:unordered-ok any stored inconsistency is reported, order-free
-	for v, n := range d.nodes {
-		want := outExpl[v]
-		for u := 0; u < d.nq; u++ {
-			w := int32(0)
-			if want != nil {
-				w = want[u]
-			}
-			if n.outExplicit[u] != w {
-				return fmt.Errorf("dcg: outExplicit[%d][%d]=%d, stored=%d", v, u, n.outExplicit[u], w)
-			}
-			if int32(len(n.out[u].list)) != w {
-				return fmt.Errorf("dcg: out-adjacency[%d][%d] has %d entries, want %d", v, u, len(n.out[u].list), w)
-			}
-			for i, v2 := range n.out[u].list {
-				if d.GetState(v, graph.VertexID(u), v2) != Explicit {
-					return fmt.Errorf("dcg: out-adjacency (%d,%d,%d) not explicit", v, u, v2)
-				}
-				if n.out[u].pos[v2] != int32(i) {
-					return fmt.Errorf("dcg: out-adjacency position index broken at (%d,%d,%d)", v, u, v2)
-				}
-			}
-		}
-	}
 	return nil
 }
 
-// Snapshot returns all stored edges as a map from (parent, label, child) to
-// state. Used by the oracle-equivalence tests.
-func (d *DCG) Snapshot() map[EdgeKey]State {
-	out := make(map[EdgeKey]State, d.numEdges)
-	//tf:unordered-ok building a map result is order-independent
-	for v2, n := range d.nodes {
-		for u, m := range n.in {
-			//tf:unordered-ok building a map result is order-independent
-			for p, s := range m {
-				out[EdgeKey{From: p, QV: graph.VertexID(u), To: v2}] = s
+// SnapEdge is one stored DCG edge with its state, as returned by Snapshot.
+type SnapEdge struct {
+	Key   EdgeKey
+	State State
+}
+
+// Snapshot returns all stored edges sorted by (From, QV, To) — root edges
+// from v*_s last, since graph.NoVertex is the maximum VertexID. The result
+// is built in one pre-sized pass and is deterministic for a given DCG
+// content, so byte/deep comparisons between snapshots need no
+// canonicalization. Used by the oracle-equivalence and determinism tests.
+func (d *DCG) Snapshot() []SnapEdge {
+	out := make([]SnapEdge, 0, d.numEdges)
+	for s := range d.nodes {
+		v2 := d.vids[s]
+		if v2 == graph.NoVertex {
+			continue // recycled slot
+		}
+		for u, l := range d.nodes[s].in {
+			for _, e := range l {
+				out = append(out, SnapEdge{
+					Key:   EdgeKey{From: e.parent, QV: graph.VertexID(u), To: v2},
+					State: e.state,
+				})
 			}
 		}
 	}
+	slices.SortFunc(out, func(a, b SnapEdge) int {
+		if c := cmp.Compare(a.Key.From, b.Key.From); c != 0 {
+			return c
+		}
+		if c := cmp.Compare(a.Key.QV, b.Key.QV); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.Key.To, b.Key.To)
+	})
 	return out
+}
+
+// SnapshotMap returns all stored edges as a map, the shape ComputeSpec
+// produces — a convenience for oracle comparisons off the hot path.
+//
+//tf:oracle-ok cold oracle-comparison helper
+func (d *DCG) SnapshotMap() map[EdgeKey]State {
+	m := make(map[EdgeKey]State, d.numEdges)
+	for _, e := range d.Snapshot() {
+		m[e.Key] = e.State
+	}
+	return m
 }
 
 // EdgeKey identifies one DCG edge: (From, QV, To) where QV is the

@@ -254,7 +254,7 @@ func TestSizeAccounting(t *testing.T) {
 	if len(snap) != 2 {
 		t.Fatalf("Snapshot has %d edges, want 2", len(snap))
 	}
-	if snap[EdgeKey{From: 0, QV: 1, To: 2}] != Implicit {
+	if d.SnapshotMap()[EdgeKey{From: 0, QV: 1, To: 2}] != Implicit {
 		t.Fatal("snapshot state wrong")
 	}
 	// DCG size bound: edges <= |V(q)| * (|E(g)| + |V(g)|) — root edges count

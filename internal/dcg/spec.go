@@ -19,6 +19,8 @@ import (
 // labeled u”. Both passes are single-pass because presence of label u'
 // depends only on strictly shallower labels and explicitness only on
 // strictly deeper ones.
+//
+//tf:oracle-ok declarative fixpoint oracle, never on the eval path
 func ComputeSpec(g *graph.Graph, t *query.Tree) map[EdgeKey]State {
 	q := t.Q
 	present := make(map[EdgeKey]bool)

@@ -5,13 +5,12 @@ package graph
 // evaluation pipeline (DESIGN.md §12). Compared to calling InsertEdge /
 // DeleteEdge per update it:
 //
-//   - fuses the duplicate/existence probe with the mutation, so each
-//     adjacency map is hashed once less per edge;
+//   - fuses the duplicate/existence probe with the mutation, so the
+//     label bucket is located once per edge instead of twice;
 //   - skips the redundant endpoint-existence checks InsertEdge pays via
 //     EnsureVertex;
 //   - defers the per-label edge counters and the global edge count into
-//     scratch deltas merged once per Flush, replacing two map operations
-//     per update with array arithmetic.
+//     scratch deltas merged once per Flush.
 //
 // The graph is fully consistent at every point except the counters
 // returned by EdgeCount and NumEdges, which lag until Flush. Callers
@@ -30,7 +29,7 @@ type Applier struct {
 // NewApplier returns an Applier over g with empty pending deltas.
 func NewApplier(g *Graph) *Applier { return &Applier{g: g} }
 
-// bump records a per-label edge-count delta without touching the map.
+// bump records a per-label edge-count delta into the scratch array.
 func (a *Applier) bump(l Label, d int) {
 	if int(l) >= len(a.edgeDelta) {
 		nd := make([]int, int(l)+1)
@@ -66,25 +65,51 @@ func (a *Applier) ensureData(v VertexID) *vertexData {
 //tf:hotpath
 func (a *Applier) InsertEdge(from VertexID, l Label, to VertexID) bool {
 	fd := a.ensureData(from)
-	out := fd.out[l]
-	for _, x := range out {
-		if x == to {
-			return false
-		}
-	}
 	td := fd
 	if to != from {
+		// ensureData only grows g.verts; fd's buckets stay valid.
 		td = a.ensureData(to)
 	}
-	if fd.out == nil {
-		fd.out = make(map[Label][]VertexID, 2)
+	bi := fd.out.find(l)
+	ti := td.in.find(l)
+	var out, in []VertexID
+	if bi >= 0 {
+		out = fd.out.lists[bi]
 	}
-	fd.out[l] = append(out, to)
+	if ti >= 0 {
+		in = td.in.lists[ti]
+	}
+	// Duplicate probe on the shorter mirror, as in Graph.HasEdge.
+	if len(in) < len(out) {
+		for _, x := range in {
+			if x == from {
+				return false
+			}
+		}
+	} else {
+		for _, x := range out {
+			if x == to {
+				return false
+			}
+		}
+	}
+	if bi >= 0 {
+		fd.out.lists[bi] = append(out, to)
+	} else {
+		nl := make([]VertexID, 1, 4)
+		nl[0] = to
+		fd.out.labels = append(fd.out.labels, l)
+		fd.out.lists = append(fd.out.lists, nl)
+	}
 	fd.outDeg++
-	if td.in == nil {
-		td.in = make(map[Label][]VertexID, 2)
+	if ti >= 0 {
+		td.in.lists[ti] = append(in, from)
+	} else {
+		nl := make([]VertexID, 1, 4)
+		nl[0] = from
+		td.in.labels = append(td.in.labels, l)
+		td.in.lists = append(td.in.lists, nl)
 	}
-	td.in[l] = append(td.in[l], from)
 	td.inDeg++
 	a.bump(l, 1)
 	a.edges++
@@ -92,7 +117,7 @@ func (a *Applier) InsertEdge(from VertexID, l Label, to VertexID) bool {
 }
 
 // DeleteEdge removes edge (from, l, to) and reports whether it existed.
-// Counter updates are deferred to Flush; slot recycling matches
+// Counter updates are deferred to Flush; bucket compaction matches
 // Graph.DeleteEdge.
 //
 //tf:hotpath
@@ -102,21 +127,12 @@ func (a *Applier) DeleteEdge(from VertexID, l Label, to VertexID) bool {
 		return false
 	}
 	fd := g.verts[from]
-	out := fd.out[l]
-	i := 0
-	for ; i < len(out); i++ {
-		if out[i] == to {
-			break
-		}
-	}
-	if i == len(out) {
+	if !fd.out.remove(l, to) {
 		return false
 	}
-	out[i] = out[len(out)-1]
-	storeAdj(fd.out, l, out[:len(out)-1])
 	fd.outDeg--
 	td := g.verts[to]
-	storeAdj(td.in, l, removeFirst(td.in[l], from))
+	td.in.remove(l, from)
 	td.inDeg--
 	a.bump(l, -1)
 	a.edges--
@@ -140,7 +156,7 @@ func (a *Applier) Flush() {
 	g := a.g
 	for _, l := range a.touched {
 		if d := a.edgeDelta[l]; d != 0 {
-			g.edgeCount[l] += d
+			g.bumpEdgeCount(l, d)
 			a.edgeDelta[l] = 0
 		}
 	}

@@ -7,8 +7,9 @@ import (
 )
 
 // TestAdjacencyCompaction pins the deleted-slot recycling contract:
-// draining a large per-label adjacency list shrinks its backing array,
-// and emptying it drops the map entry entirely.
+// draining a large per-label adjacency list shrinks its backing array;
+// a large emptied bucket is dropped outright, while a small one is kept
+// empty so churn around degree zero stays allocation-free.
 func TestAdjacencyCompaction(t *testing.T) {
 	g := New()
 	const n = 1024
@@ -17,7 +18,7 @@ func TestAdjacencyCompaction(t *testing.T) {
 			t.Fatalf("insert %d: duplicate?", i)
 		}
 	}
-	if c := cap(g.verts[1].out[0]); c < n {
+	if c := cap(g.verts[1].out.neighbors(0)); c < n {
 		t.Fatalf("out cap = %d after %d inserts", c, n)
 	}
 	for i := 1; i <= n-8; i++ {
@@ -25,7 +26,7 @@ func TestAdjacencyCompaction(t *testing.T) {
 			t.Fatalf("delete %d: missing?", i)
 		}
 	}
-	out := g.verts[1].out[0]
+	out := g.verts[1].out.neighbors(0)
 	if len(out) != 8 {
 		t.Fatalf("len = %d, want 8", len(out))
 	}
@@ -37,13 +38,19 @@ func TestAdjacencyCompaction(t *testing.T) {
 			t.Fatalf("delete %d: missing?", i)
 		}
 	}
-	if _, ok := g.verts[1].out[Label(0)]; ok {
-		t.Fatal("empty adjacency list retains its map entry")
+	if g.verts[1].out.find(0) >= 0 {
+		t.Fatal("large emptied adjacency bucket was not dropped")
 	}
-	// Every in-side singleton list was dropped too.
+	// The in-side singleton buckets are small: they stay, emptied, with
+	// their tiny backing arrays ready for reuse.
 	for i := 1; i <= n; i++ {
-		if _, ok := g.verts[1+i].in[Label(0)]; ok {
-			t.Fatalf("vertex %d retains an empty in-list entry", 1+i)
+		in := &g.verts[1+i].in
+		bi := in.find(0)
+		if bi < 0 {
+			t.Fatalf("vertex %d dropped its small in-bucket", 1+i)
+		}
+		if l := in.lists[bi]; len(l) != 0 || cap(l) > adjKeepEmpty {
+			t.Fatalf("vertex %d in-bucket len=%d cap=%d, want empty cap<=%d", 1+i, len(l), cap(l), adjKeepEmpty)
 		}
 	}
 	if g.NumEdges() != 0 || g.EdgeCount(0) != 0 {
@@ -71,7 +78,7 @@ func TestAdjacencySteadyStateChurn(t *testing.T) {
 		g.DeleteEdge(1, 0, fifo[0])
 		fifo = fifo[1:]
 	}
-	out := g.verts[1].out[0]
+	out := g.verts[1].out.neighbors(0)
 	if len(out) != live {
 		t.Fatalf("len = %d, want %d", len(out), live)
 	}

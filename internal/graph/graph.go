@@ -3,13 +3,22 @@
 //
 // The graph stores a set of vertices, each carrying a fixed set of vertex
 // labels, and a set of directed edges (from, label, to). Edges live only in
-// the per-vertex, per-label adjacency lists — duplicate detection, HasEdge
-// and deletion scan the from-side list for the edge's label, so insertion
-// and deletion are O(deg_l) on that list (short for the paper's workloads)
+// the per-vertex, per-label adjacency buckets — duplicate detection, HasEdge
+// and deletion scan the from-side bucket for the edge's label, so insertion
+// and deletion are O(deg_l) on that bucket (short for the paper's workloads)
 // with no global edge index to hash into on the update hot path. Adjacency
 // is indexed per edge label in both directions so that engines can
 // enumerate out- or in-neighbors reachable through a specific label without
 // scanning.
+//
+// Data layout (DESIGN.md §16): every hot-path structure is a dense slice.
+// Per-vertex adjacency is label-bucketed — a short parallel pair of
+// (label, neighbor-slice) arrays scanned linearly, since a vertex touches
+// few distinct edge labels — and the per-label vertex index and edge
+// counters are flat slices indexed by the interned Label. No hash map is
+// touched anywhere on the insert/delete/enumerate path, and iteration
+// order is deterministic (a property the emission-determinism contract
+// leans on; Go map iteration is randomized by design).
 //
 // Vertex labels are fixed once the vertex is created: this matches the RDF
 // datasets used by the paper (LSBench, Netflow), where the type of an entity
@@ -50,10 +59,116 @@ func (e Edge) Reverse() Edge {
 	return Edge{From: e.To, Label: e.Label, To: e.From}
 }
 
+// halfAdj is one direction of a vertex's adjacency, bucketed by edge
+// label: lists[i] holds the neighbors reachable through labels[i]. The
+// bucket array is unordered and scanned linearly — a vertex touches few
+// distinct edge labels, so the scan is a handful of 2-byte compares in
+// one cache line, cheaper than hashing into a map. An emptied bucket is
+// swap-removed so long-gone labels never lengthen the scan.
+type halfAdj struct {
+	labels []Label
+	lists  [][]VertexID
+}
+
+// find returns the bucket index of label l, or -1.
+//
+//tf:hotpath
+func (a *halfAdj) find(l Label) int {
+	for i, bl := range a.labels {
+		if bl == l {
+			return i
+		}
+	}
+	return -1
+}
+
+// neighbors returns the neighbor slice for label l (nil if no bucket).
+//
+//tf:hotpath
+func (a *halfAdj) neighbors(l Label) []VertexID {
+	if i := a.find(l); i >= 0 {
+		return a.lists[i]
+	}
+	return nil
+}
+
+// add appends neighbor v to the bucket for label l, creating the bucket
+// on first use.
+//
+//tf:hotpath
+func (a *halfAdj) add(l Label, v VertexID) {
+	if i := a.find(l); i >= 0 {
+		a.lists[i] = append(a.lists[i], v)
+		return
+	}
+	a.labels = append(a.labels, l)
+	nl := make([]VertexID, 1, 4) // headroom: most vertices grow past 1 neighbor
+	nl[0] = v
+	a.lists = append(a.lists, nl)
+}
+
+// adjShrinkMin is the smallest backing-array capacity delete compaction
+// bothers with; below it the waste is a few words per list.
+const adjShrinkMin = 16
+
+// adjKeepEmpty is the largest backing-array capacity an emptied bucket
+// retains for reuse; a larger one is dropped to release its memory.
+// Matches the capacity add gives a fresh bucket, so churn around degree
+// zero settles into one retained 4-slot array per touched label.
+const adjKeepEmpty = 4
+
+// remove deletes the first occurrence of v from the bucket for label l
+// and reports whether it was present, recycling deleted-edge slots: a
+// list whose live length has fallen to a quarter of its capacity is
+// reallocated at half capacity, and an emptied bucket is either dropped
+// (releasing a large backing array) or kept empty (a small one), so the
+// next insert of that label reuses it without allocating — delete-heavy
+// churn around zero costs no allocation in steady state. The swap-remove
+// bounds length; the shrink bounds the retained capacity; together long
+// insert/delete churn converges to the steady-state working set instead
+// of pinning the high-water mark. The 4-to-1 shrink trigger against the
+// 2-to-1 new capacity leaves headroom, so churn around a stable degree
+// cannot thrash between shrinking and regrowing.
+//
+//tf:hotpath
+func (a *halfAdj) remove(l Label, v VertexID) bool {
+	bi := a.find(l)
+	if bi < 0 {
+		return false
+	}
+	s := a.lists[bi]
+	for i, x := range s {
+		if x != v {
+			continue
+		}
+		s[i] = s[len(s)-1]
+		s = s[:len(s)-1]
+		switch {
+		case len(s) == 0 && cap(s) > adjKeepEmpty:
+			// Drop the bucket: swap-remove keeps the scan short and the
+			// backing array is released.
+			last := len(a.labels) - 1
+			a.labels[bi] = a.labels[last]
+			a.lists[bi] = a.lists[last]
+			a.labels = a.labels[:last]
+			a.lists[last] = nil
+			a.lists = a.lists[:last]
+		case cap(s) >= adjShrinkMin && len(s)*4 <= cap(s):
+			ns := make([]VertexID, len(s), cap(s)/2)
+			copy(ns, s)
+			a.lists[bi] = ns
+		default:
+			a.lists[bi] = s
+		}
+		return true
+	}
+	return false
+}
+
 type vertexData struct {
 	labels []Label // sorted, deduplicated; empty means "unlabeled vertex"
-	out    map[Label][]VertexID
-	in     map[Label][]VertexID
+	out    halfAdj
+	in     halfAdj
 	outDeg int
 	inDeg  int
 }
@@ -64,19 +179,16 @@ type vertexData struct {
 // Graph is not safe for concurrent mutation; the paper's system (and every
 // baseline) is single-threaded per stream, and so are we.
 type Graph struct {
-	verts     []*vertexData        // indexed by VertexID; nil slot = vertex absent
-	byLabel   map[Label][]VertexID // vertex label -> vertices carrying it (append-only)
-	edgeCount map[Label]int        // edge label -> live edge count
+	verts     []*vertexData // indexed by VertexID; nil slot = vertex absent
+	byLabel   [][]VertexID  // vertex label -> vertices carrying it (append-only), indexed by Label
+	edgeCount []int         // edge label -> live edge count, indexed by Label
 	numVerts  int
 	numEdges  int
 }
 
 // New returns an empty graph.
 func New() *Graph {
-	return &Graph{
-		byLabel:   make(map[Label][]VertexID),
-		edgeCount: make(map[Label]int),
-	}
+	return &Graph{}
 }
 
 // NumVertices reports the number of live vertices.
@@ -102,12 +214,17 @@ func (g *Graph) AddVertex(v VertexID, labels ...Label) error {
 	ls := append([]Label(nil), labels...)
 	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 	ls = dedupLabels(ls)
-	// Adjacency maps are allocated lazily by the first incident edge:
-	// reads on the nil maps are valid, and vertex-heavy streams (bulk
-	// declarations, WAL replay) skip two map allocations per vertex.
+	// Adjacency buckets are allocated lazily by the first incident edge:
+	// vertex-heavy streams (bulk declarations, WAL replay) pay nothing
+	// per vertex beyond the vertexData itself.
 	g.verts[v] = &vertexData{labels: ls}
 	g.numVerts++
 	for _, l := range ls {
+		if int(l) >= len(g.byLabel) {
+			nb := make([][]VertexID, int(l)+1)
+			copy(nb, g.byLabel)
+			g.byLabel = nb
+		}
 		g.byLabel[l] = append(g.byLabel[l], v)
 	}
 	return nil
@@ -190,6 +307,9 @@ func (g *Graph) HasAllLabels(v VertexID, required []Label) bool {
 // owned by the graph and must not be mutated. Because vertex labels are
 // immutable, the index is append-only and always exact.
 func (g *Graph) VerticesWithLabel(l Label) []VertexID {
+	if int(l) >= len(g.byLabel) {
+		return nil
+	}
 	return g.byLabel[l]
 }
 
@@ -202,12 +322,12 @@ func (g *Graph) CountVerticesWithLabels(required []Label) int {
 	// Scan the candidates of the rarest label.
 	rare := required[0]
 	for _, l := range required[1:] {
-		if len(g.byLabel[l]) < len(g.byLabel[rare]) {
+		if len(g.VerticesWithLabel(l)) < len(g.VerticesWithLabel(rare)) {
 			rare = l
 		}
 	}
 	n := 0
-	for _, v := range g.byLabel[rare] {
+	for _, v := range g.VerticesWithLabel(rare) {
 		if g.HasAllLabels(v, required) {
 			n++
 		}
@@ -215,9 +335,21 @@ func (g *Graph) CountVerticesWithLabels(required []Label) int {
 	return n
 }
 
+// bumpEdgeCount adjusts the live-edge counter of label l by d.
+func (g *Graph) bumpEdgeCount(l Label, d int) {
+	if int(l) >= len(g.edgeCount) {
+		nc := make([]int, int(l)+1)
+		copy(nc, g.edgeCount)
+		g.edgeCount = nc
+	}
+	g.edgeCount[l] += d
+}
+
 // InsertEdge adds edge (from, l, to), creating missing endpoints as
 // unlabeled vertices. It reports whether the edge was newly inserted
 // (false for duplicates, which leave the graph unchanged).
+//
+//tf:hotpath
 func (g *Graph) InsertEdge(from VertexID, l Label, to VertexID) bool {
 	if g.HasEdge(from, l, to) {
 		return false
@@ -225,80 +357,55 @@ func (g *Graph) InsertEdge(from VertexID, l Label, to VertexID) bool {
 	g.EnsureVertex(from)
 	g.EnsureVertex(to)
 	fd, td := g.verts[from], g.verts[to]
-	if fd.out == nil {
-		fd.out = make(map[Label][]VertexID, 2)
-	}
-	fd.out[l] = append(fd.out[l], to)
+	fd.out.add(l, to)
 	fd.outDeg++
-	if td.in == nil {
-		td.in = make(map[Label][]VertexID, 2)
-	}
-	td.in[l] = append(td.in[l], from)
+	td.in.add(l, from)
 	td.inDeg++
-	g.edgeCount[l]++
+	g.bumpEdgeCount(l, 1)
 	g.numEdges++
 	return true
 }
 
 // DeleteEdge removes edge (from, l, to). It reports whether the edge
 // existed.
+//
+//tf:hotpath
 func (g *Graph) DeleteEdge(from VertexID, l Label, to VertexID) bool {
-	if !g.HasEdge(from, l, to) {
+	if !g.HasVertex(from) || !g.HasVertex(to) {
 		return false
 	}
 	fd, td := g.verts[from], g.verts[to]
-	storeAdj(fd.out, l, removeFirst(fd.out[l], to))
+	if !fd.out.remove(l, to) {
+		return false
+	}
 	fd.outDeg--
-	storeAdj(td.in, l, removeFirst(td.in[l], from))
+	td.in.remove(l, from)
 	td.inDeg--
-	g.edgeCount[l]--
+	g.bumpEdgeCount(l, -1)
 	g.numEdges--
 	return true
 }
 
-func removeFirst(s []VertexID, v VertexID) []VertexID {
-	for i, x := range s {
-		if x == v {
-			s[i] = s[len(s)-1]
-			return s[:len(s)-1]
-		}
-	}
-	return s
-}
-
-// adjShrinkMin is the smallest backing-array capacity delete compaction
-// bothers with; below it the waste is a few words per list.
-const adjShrinkMin = 16
-
-// storeAdj writes a per-label adjacency list back after a removal,
-// recycling deleted-edge slots: an emptied list's map entry is dropped
-// (releasing its backing array), and a list whose live length has fallen
-// to a quarter of its capacity is reallocated at half capacity. The
-// swap-remove in removeFirst already bounds length; this bounds the
-// retained capacity too, so long insert/delete churn converges to the
-// steady-state working set instead of pinning the high-water mark. The
-// 4-to-1 shrink trigger against the 2-to-1 new capacity leaves headroom,
-// so churn around a stable degree cannot thrash between shrinking and
-// regrowing.
-func storeAdj(m map[Label][]VertexID, l Label, s []VertexID) {
-	switch {
-	case len(s) == 0:
-		delete(m, l)
-	case cap(s) >= adjShrinkMin && len(s)*4 <= cap(s):
-		ns := make([]VertexID, len(s), cap(s)/2)
-		copy(ns, s)
-		m[l] = ns
-	default:
-		m[l] = s
-	}
-}
-
 // HasEdge reports whether edge (from, l, to) exists.
+//
+//tf:hotpath
 func (g *Graph) HasEdge(from VertexID, l Label, to VertexID) bool {
-	if !g.HasVertex(from) {
+	if !g.HasVertex(from) || !g.HasVertex(to) {
 		return false
 	}
-	for _, x := range g.verts[from].out[l] {
+	// The edge is mirrored in both half-adjacencies; probe the shorter
+	// side so dup checks against a hub vertex stay cheap.
+	out := g.verts[from].out.neighbors(l)
+	in := g.verts[to].in.neighbors(l)
+	if len(in) < len(out) {
+		for _, x := range in {
+			if x == from {
+				return true
+			}
+		}
+		return false
+	}
+	for _, x := range out {
 		if x == to {
 			return true
 		}
@@ -309,20 +416,24 @@ func (g *Graph) HasEdge(from VertexID, l Label, to VertexID) bool {
 // OutNeighbors returns the targets of edges from v with label l. The slice
 // is owned by the graph; callers must not mutate it and must not hold it
 // across graph mutations.
+//
+//tf:hotpath
 func (g *Graph) OutNeighbors(v VertexID, l Label) []VertexID {
 	if !g.HasVertex(v) {
 		return nil
 	}
-	return g.verts[v].out[l]
+	return g.verts[v].out.neighbors(l)
 }
 
 // InNeighbors returns the sources of edges into v with label l, with the
 // same ownership rules as OutNeighbors.
+//
+//tf:hotpath
 func (g *Graph) InNeighbors(v VertexID, l Label) []VertexID {
 	if !g.HasVertex(v) {
 		return nil
 	}
-	return g.verts[v].in[l]
+	return g.verts[v].in.neighbors(l)
 }
 
 // OutDegree returns the total out-degree of v across all labels.
@@ -345,50 +456,59 @@ func (g *Graph) InDegree(v VertexID) int {
 func (g *Graph) Degree(v VertexID) int { return g.InDegree(v) + g.OutDegree(v) }
 
 // EdgeCount returns the number of live edges with label l.
-func (g *Graph) EdgeCount(l Label) int { return g.edgeCount[l] }
+func (g *Graph) EdgeCount(l Label) int {
+	if int(l) >= len(g.edgeCount) {
+		return 0
+	}
+	return g.edgeCount[l]
+}
 
 // ForEachOutLabel calls fn for every (label, neighbors) pair of v's
-// outgoing adjacency. Neighbor slices follow OutNeighbors ownership rules.
+// outgoing adjacency, in bucket order (deterministic for a given update
+// history). Neighbor slices follow OutNeighbors ownership rules.
 func (g *Graph) ForEachOutLabel(v VertexID, fn func(l Label, nbrs []VertexID)) {
 	if !g.HasVertex(v) {
 		return
 	}
-	for l, nbrs := range g.verts[v].out {
-		if len(nbrs) > 0 {
-			fn(l, nbrs)
+	a := &g.verts[v].out
+	for i, l := range a.labels {
+		if len(a.lists[i]) > 0 {
+			fn(l, a.lists[i])
 		}
 	}
 }
 
 // ForEachInLabel calls fn for every (label, neighbors) pair of v's incoming
-// adjacency.
+// adjacency, in bucket order.
 func (g *Graph) ForEachInLabel(v VertexID, fn func(l Label, nbrs []VertexID)) {
 	if !g.HasVertex(v) {
 		return
 	}
-	for l, nbrs := range g.verts[v].in {
-		if len(nbrs) > 0 {
-			fn(l, nbrs)
+	a := &g.verts[v].in
+	for i, l := range a.labels {
+		if len(a.lists[i]) > 0 {
+			fn(l, a.lists[i])
 		}
 	}
 }
 
-// ForEachEdge calls fn for every live edge. Iteration order is unspecified.
-// fn must not mutate the graph.
+// ForEachEdge calls fn for every live edge, in (from-vertex, bucket,
+// insertion) order — deterministic for a given update history, which the
+// snapshot/serialization cold paths rely on. fn must not mutate the graph.
 func (g *Graph) ForEachEdge(fn func(Edge)) {
 	for id, vd := range g.verts {
 		if vd == nil {
 			continue
 		}
-		for l, nbrs := range vd.out {
-			for _, to := range nbrs {
+		for i, l := range vd.out.labels {
+			for _, to := range vd.out.lists[i] {
 				fn(Edge{From: VertexID(id), Label: l, To: to})
 			}
 		}
 	}
 }
 
-// Edges returns all live edges in an unspecified order.
+// Edges returns all live edges in ForEachEdge order.
 func (g *Graph) Edges() []Edge {
 	es := make([]Edge, 0, g.numEdges)
 	g.ForEachEdge(func(e Edge) { es = append(es, e) })
@@ -404,6 +524,18 @@ func (g *Graph) ForEachVertex(fn func(VertexID)) {
 	}
 }
 
+// cloneHalf deep-copies one adjacency direction.
+func cloneHalf(a *halfAdj) halfAdj {
+	c := halfAdj{
+		labels: append([]Label(nil), a.labels...),
+		lists:  make([][]VertexID, len(a.lists)),
+	}
+	for i, nbrs := range a.lists {
+		c.lists[i] = append([]VertexID(nil), nbrs...)
+	}
+	return c
+}
+
 // Clone returns a deep copy of the graph. Used by snapshot-based baselines
 // (IncIsoMat, naive recompute) to evaluate "before" and "after" states.
 func (g *Graph) Clone() *Graph {
@@ -413,28 +545,22 @@ func (g *Graph) Clone() *Graph {
 		if vd == nil {
 			continue
 		}
-		nd := &vertexData{
+		c.verts[id] = &vertexData{
 			labels: vd.labels, // immutable: safe to share
-			out:    make(map[Label][]VertexID, len(vd.out)),
-			in:     make(map[Label][]VertexID, len(vd.in)),
+			out:    cloneHalf(&vd.out),
+			in:     cloneHalf(&vd.in),
 			outDeg: vd.outDeg,
 			inDeg:  vd.inDeg,
 		}
-		for l, nbrs := range vd.out {
-			nd.out[l] = append([]VertexID(nil), nbrs...)
-		}
-		for l, nbrs := range vd.in {
-			nd.in[l] = append([]VertexID(nil), nbrs...)
-		}
-		c.verts[id] = nd
 	}
 	c.numVerts = g.numVerts
 	c.numEdges = g.numEdges
+	c.byLabel = make([][]VertexID, len(g.byLabel))
 	for l, vs := range g.byLabel {
-		c.byLabel[l] = append([]VertexID(nil), vs...)
+		if len(vs) > 0 {
+			c.byLabel[l] = append([]VertexID(nil), vs...)
+		}
 	}
-	for l, n := range g.edgeCount {
-		c.edgeCount[l] = n
-	}
+	c.edgeCount = append([]int(nil), g.edgeCount...)
 	return c
 }
