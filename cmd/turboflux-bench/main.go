@@ -43,6 +43,9 @@ func main() {
 	shardOut := flag.String("shard-out", "BENCH_shard.json", "report path for -exp shard")
 	shardUpdates := flag.Int("shard-updates", 24000, "updates per shard-count cell for -exp shard")
 	shardBatch := flag.Int("shard-batch", 240, "BATCH frame size for -exp shard")
+	mqoOut := flag.String("mqo-out", "BENCH_mqo.json", "report path for -exp mqo")
+	mqoUpdates := flag.Int("mqo-updates", 20000, "updates per grid cell for -exp mqo")
+	mqoQuick := flag.Bool("mqo-quick", false, "reduced grid for -exp mqo (CI smoke)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this path")
 	flag.IntVar(&cfg.Users, "users", cfg.Users, "LSBench scale factor (#users)")
 	flag.IntVar(&cfg.Hosts, "hosts", cfg.Hosts, "Netflow host count")
@@ -81,6 +84,7 @@ func main() {
 		fmt.Println("batch")
 		fmt.Println("replica")
 		fmt.Println("shard")
+		fmt.Println("mqo")
 		return
 	}
 	if *exp == "" {
@@ -148,6 +152,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stdout, "\n[shard completed in %s]\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *exp == "mqo" {
+		start := time.Now()
+		if err := runMQO(*mqoOut, *mqoUpdates, *mqoQuick); err != nil {
+			fmt.Fprintln(os.Stderr, "turboflux-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stdout, "\n[mqo completed in %s]\n", time.Since(start).Round(time.Millisecond))
 		return
 	}
 	start := time.Now()

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"turboflux"
+	"turboflux/internal/workload"
+)
+
+// mqoRow is one (mode, queries, overlap) cell of the multi-query sharing
+// grid: an LSBench stream applied at workers=1 with round(overlap*queries)
+// of the registered queries sharing one spanning tree.
+type mqoRow struct {
+	// Mode is "shared" (sub-pattern sharing on, DESIGN.md §17) or
+	// "private" (the pre-MQO DCG-per-query baseline via SetSharing(false)).
+	Mode    string  `json:"mode"`
+	Queries int     `json:"queries"`
+	Overlap float64 `json:"overlap"`
+
+	Updates     int     `json:"updates"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	UpdatesPerS float64 `json:"updates_per_s"`
+	Matches     int64   `json:"matches"`
+
+	SubPatterns       int    `json:"sub_patterns"`
+	SharedSubPatterns int    `json:"shared_sub_patterns"`
+	Refs              int    `json:"refs"`
+	MaintainRuns      uint64 `json:"maintain_runs"`
+	SavedEvals        uint64 `json:"saved_evals"`
+	SharedReplays     uint64 `json:"shared_replays"`
+	// IntermediateBytes counts each shared DCG once: the footprint side of
+	// the dedup.
+	IntermediateBytes int64 `json:"intermediate_bytes"`
+}
+
+// mqoReport is the BENCH_mqo.json document.
+type mqoReport struct {
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Updates    int      `json:"updates_per_cell"`
+	Rows       []mqoRow `json:"rows"`
+	// Speedup64q075 is the headline acceptance number: shared-mode
+	// throughput over private-mode throughput at 64 registered queries
+	// with overlap 0.75, workers=1.
+	Speedup64q075 float64 `json:"speedup_64q_075_shared_vs_private_w1"`
+	// Growth ratios of per-update cost from 4 to 64 registered queries at
+	// overlap 0.75 (linear growth would be 16): sharing must keep the
+	// shared-mode ratio well under the private one.
+	SharedGrowth64v4  float64 `json:"shared_nsop_growth_64q_vs_4q_075"`
+	PrivateGrowth64v4 float64 `json:"private_nsop_growth_64q_vs_4q_075"`
+}
+
+// runMQO measures what sub-pattern sharing buys as the registered-query
+// count and overlap fraction grow. quick reduces the grid for CI smoke.
+func runMQO(out string, updates int, quick bool) error {
+	overlaps := []float64{0, 0.25, 0.5, 0.75, 1}
+	querySet := []int{4, 16, 64}
+	if quick {
+		overlaps = []float64{0.75}
+		querySet = []int{4, 16}
+		if updates > 6000 {
+			updates = 6000
+		}
+	}
+	rep := mqoReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Updates: updates}
+	for _, q := range querySet {
+		for _, f := range overlaps {
+			for _, mode := range []string{"private", "shared"} {
+				// Best of 2 runs: cells are short enough for one GC pause or
+				// preemption to swing a run.
+				var row mqoRow
+				for r := 0; r < 2; r++ {
+					got, err := mqoCell(mode, q, f, updates)
+					if err != nil {
+						return err
+					}
+					if r == 0 || got.UpdatesPerS > row.UpdatesPerS {
+						row = got
+					}
+				}
+				rep.Rows = append(rep.Rows, row)
+				fmt.Printf("mqo %-7s queries=%-2d overlap=%.2f  %9.0f ups/s  subpats=%-2d shared=%-2d saved=%-8d bytes=%d\n",
+					mode, q, f, row.UpdatesPerS, row.SubPatterns, row.SharedSubPatterns, row.SavedEvals, row.IntermediateBytes)
+			}
+		}
+	}
+	if sh, pr := findMQORow(rep.Rows, "shared", 64, 0.75), findMQORow(rep.Rows, "private", 64, 0.75); sh != nil && pr != nil && pr.UpdatesPerS > 0 {
+		rep.Speedup64q075 = sh.UpdatesPerS / pr.UpdatesPerS
+	}
+	if a, b := findMQORow(rep.Rows, "shared", 4, 0.75), findMQORow(rep.Rows, "shared", 64, 0.75); a != nil && b != nil && a.NsPerOp > 0 {
+		rep.SharedGrowth64v4 = b.NsPerOp / a.NsPerOp
+	}
+	if a, b := findMQORow(rep.Rows, "private", 4, 0.75), findMQORow(rep.Rows, "private", 64, 0.75); a != nil && b != nil && a.NsPerOp > 0 {
+		rep.PrivateGrowth64v4 = b.NsPerOp / a.NsPerOp
+	}
+	fmt.Printf("mqo speedup (64 queries, overlap 0.75, shared vs private): %.2fx\n", rep.Speedup64q075)
+	fmt.Printf("mqo ns/op growth 4->64 queries at overlap 0.75: shared %.1fx, private %.1fx (linear = 16x)\n",
+		rep.SharedGrowth64v4, rep.PrivateGrowth64v4)
+	return writeJSON(out, rep)
+}
+
+// mqoCell runs one grid cell: a fresh LSBench dataset, the overlapping
+// query set registered with sharing on or off, and the dataset's update
+// stream applied at workers=1 (the per-update evaluation cost sharing
+// targets, with no pool parallelism to mask it).
+func mqoCell(mode string, queries int, overlap float64, updates int) (mqoRow, error) {
+	ds := workload.LSBench(workload.LSBenchConfig{
+		Users: 300, StreamFraction: 0.4, DeletionRate: 0.2, Seed: 7,
+	})
+	qs := ds.OverlappingQueries(queries, 4, overlap, 11)
+	m := turboflux.NewMultiEngine(ds.Graph)
+	defer m.Close() //tf:unchecked-ok bench teardown
+	m.SetSharing(mode == "shared")
+	m.SetFanOutWorkers(1)
+	var matches int64
+	for i, q := range qs {
+		err := m.Register(fmt.Sprintf("q%d", i), q, turboflux.Options{
+			OnMatch: func(positive bool, _ []turboflux.VertexID) { matches++ },
+		})
+		if err != nil {
+			return mqoRow{}, err
+		}
+	}
+	stream := ds.Stream
+	if len(stream) > updates {
+		stream = stream[:updates]
+	}
+	// Warm up on the first tenth (root candidates, allocator steady
+	// state), then time the rest.
+	warm := len(stream) / 10
+	for _, u := range stream[:warm] {
+		if _, err := m.Apply(u); err != nil {
+			return mqoRow{}, err
+		}
+	}
+	timed := stream[warm:]
+	start := time.Now()
+	for _, u := range timed {
+		if _, err := m.Apply(u); err != nil {
+			return mqoRow{}, err
+		}
+	}
+	wall := time.Since(start)
+
+	st := m.MQOStats()
+	return mqoRow{
+		Mode:              mode,
+		Queries:           queries,
+		Overlap:           overlap,
+		Updates:           len(timed),
+		NsPerOp:           float64(wall.Nanoseconds()) / float64(len(timed)),
+		UpdatesPerS:       float64(len(timed)) / wall.Seconds(),
+		Matches:           matches,
+		SubPatterns:       st.SubPatterns,
+		SharedSubPatterns: st.SharedSubPatterns,
+		Refs:              st.Refs,
+		MaintainRuns:      st.MaintainRuns,
+		SavedEvals:        st.SavedEvals,
+		SharedReplays:     st.SharedReplays,
+		IntermediateBytes: m.TotalIntermediateBytes(),
+	}, nil
+}
+
+func findMQORow(rows []mqoRow, mode string, queries int, overlap float64) *mqoRow {
+	for i := range rows {
+		r := &rows[i]
+		if r.Mode == mode && r.Queries == queries && r.Overlap == overlap {
+			return r
+		}
+	}
+	return nil
+}

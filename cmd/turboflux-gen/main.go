@@ -31,22 +31,23 @@ func main() {
 	streamFrac := flag.Float64("streamfrac", 0.1, "fraction of triples streamed as updates")
 	delRate := flag.Float64("delrate", 0, "deletions per insertion in the stream")
 	queries := flag.Int("queries", 4, "queries to generate")
-	qtype := flag.String("qtype", "tree", "query shape: tree, graph, path or btree")
+	qtype := flag.String("qtype", "tree", "query shape: tree, graph, path, btree or overlap")
 	qsize := flag.Int("qsize", 6, "query size (number of edges)")
+	overlap := flag.Float64("overlap", 0.5, "fraction of queries sharing one spanning tree (qtype overlap)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	out := flag.String("out", ".", "output directory")
 	binaryG0 := flag.Bool("binary", false, "write g0 in the compact binary format (g0.tfg)")
 	flag.Parse()
 
 	if err := run(*dataset, *users, *hosts, *triples, *streamFrac, *delRate,
-		*queries, *qtype, *qsize, *seed, *out, *binaryG0); err != nil {
+		*queries, *qtype, *qsize, *overlap, *seed, *out, *binaryG0); err != nil {
 		fmt.Fprintln(os.Stderr, "turboflux-gen:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dataset string, users, hosts, triples int, streamFrac, delRate float64,
-	queries int, qtype string, qsize int, seed int64, out string, binaryG0 bool) error {
+	queries int, qtype string, qsize int, overlap float64, seed int64, out string, binaryG0 bool) error {
 	var ds *workload.Dataset
 	switch dataset {
 	case "lsbench":
@@ -92,6 +93,8 @@ func run(dataset string, users, hosts, triples int, streamFrac, delRate float64,
 		qs = ds.PathQueries(queries, qsize, seed+int64(qsize))
 	case "btree":
 		qs = ds.BinaryTreeQueries(queries, qsize, seed+int64(qsize))
+	case "overlap":
+		qs = ds.OverlappingQueries(queries, qsize, overlap, seed+int64(qsize))
 	default:
 		return fmt.Errorf("unknown query type %q", qtype)
 	}

@@ -237,3 +237,6 @@ func (d *DurableMultiEngine) Stats() map[string]Stats { return d.m.Stats() }
 
 // FanOutStats snapshots the fan-out counters.
 func (d *DurableMultiEngine) FanOutStats() FanOutStats { return d.m.FanOutStats() }
+
+// MQOStats snapshots the sub-pattern sharing counters.
+func (d *DurableMultiEngine) MQOStats() MQOStats { return d.m.MQOStats() }

@@ -32,13 +32,15 @@ func All() []*analysis.Analyzer {
 // emissionScope lists the module-relative package paths whose code runs on
 // match-emission or matching-order paths: the root package fans matches
 // out to OnMatch callbacks, core emits them, dcg enumerates the candidates
-// they are built from, query computes the matching order, and server fans
-// match events out to network subscribers.
+// they are built from, query computes the matching order, mqo decides
+// which queries share one evaluation, and server fans match events out to
+// network subscribers.
 var emissionScope = map[string]bool{
 	"":                true,
 	"internal/core":   true,
 	"internal/dcg":    true,
 	"internal/fanout": true,
+	"internal/mqo":    true,
 	"internal/query":  true,
 	"internal/server": true,
 	"internal/shard":  true,

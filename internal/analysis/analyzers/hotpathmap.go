@@ -14,7 +14,9 @@ import (
 // costs one bounds-checked load. In internal/core it reports map index,
 // map range and delete() operations in any function reachable (through
 // same-package calls) from an eval entry point; in internal/dcg — whose
-// maintenance code runs only inside evaluation — it checks every function.
+// maintenance code runs only inside evaluation — and internal/mqo — whose
+// registry sits on the multi-query fan-out path — it checks every
+// function.
 //
 // Exemptions: //tf:map-ok on the operation's line suppresses one finding
 // (e.g. a map touched only on a gated ablation branch); //tf:map-ok or
@@ -31,7 +33,7 @@ var HotpathMap = &analysis.Analyzer{
 
 func runHotpathMap(pass *analysis.Pass) error {
 	rel := pass.RelPath()
-	if rel != "internal/core" && rel != "internal/dcg" {
+	if rel != "internal/core" && rel != "internal/dcg" && rel != "internal/mqo" {
 		return nil
 	}
 
@@ -63,7 +65,7 @@ func runHotpathMap(pass *analysis.Pass) error {
 			ann.FuncAnnotated(info.decl, "oracle-ok")
 	}
 
-	if rel == "internal/dcg" {
+	if rel == "internal/dcg" || rel == "internal/mqo" {
 		for _, obj := range order {
 			info := decls[obj]
 			if exempt(info) {
@@ -131,7 +133,7 @@ func reportMapOps(pass *analysis.Pass, info *declInfo, root string) {
 			return
 		}
 		pass.Reportf(n.Pos(),
-			"%s in %s: DCG maintenance runs on the eval path and must keep its state in slot-indexed dense slices (DESIGN.md §16); annotate //tf:map-ok if the operation is cold",
+			"%s in %s: this package runs on the eval path and must keep per-update state in slot-indexed dense slices (DESIGN.md §16); annotate //tf:map-ok if the operation is cold",
 			op, name)
 	}
 	ast.Inspect(info.decl.Body, func(n ast.Node) bool {

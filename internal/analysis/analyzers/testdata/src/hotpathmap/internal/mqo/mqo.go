@@ -1,0 +1,23 @@
+// Package mqo exercises the package-wide rule on the sub-pattern
+// registry: the package sits on the multi-query fan-out path, so every
+// map operation is a finding unless the function is exempted.
+package mqo
+
+// Registry mixes a refcount total with a key-indexed entry map.
+type Registry struct {
+	entries map[string]int
+	total   int
+}
+
+// Refs looks the key up in the map: finding.
+func (r *Registry) Refs(key string) int {
+	return r.entries[key]
+}
+
+// Acquire is exempted wholesale: registration-time only.
+//
+//tf:map-ok registration-time only, never per update
+func (r *Registry) Acquire(key string) {
+	r.entries[key]++
+	r.total++
+}

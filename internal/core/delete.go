@@ -45,6 +45,16 @@ func (e *Engine) deleteEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.Ver
 	// duplicate avoidance assigns each such solution to its minimum-rank
 	// trigger, and tree triggers rank below non-tree triggers, so any
 	// solution lost here was already reported by a tree trigger.
+	e.deleteNonTreeTriggers(v, l, v2)
+}
+
+// deleteNonTreeTriggers runs the non-tree trigger loop of Algorithm 8
+// (Lines 11–18): transition-free upward climbs reporting negatives.
+// Identical for private evaluation and shared-member replay — non-tree
+// triggers never modify the DCG.
+//
+//tf:hotpath
+func (e *Engine) deleteNonTreeTriggers(v graph.VertexID, l graph.Label, v2 graph.VertexID) {
 	for _, nt := range e.nonTreeSlots(l) {
 		qe := e.q.Edge(nt)
 		if !e.d.HasInLabel(v, qe.From) || !e.d.HasInLabel(v2, qe.To) {
@@ -65,6 +75,45 @@ func (e *Engine) deleteEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.Ver
 		}
 		e.clearTrigger()
 	}
+}
+
+// replayBeforeDelete is the shared-member twin of deleteEdgeAndEval
+// (DESIGN.md §17): it runs BEFORE the maintainer applies any clearing,
+// against the still-intact shared DCG, climbing transition-free
+// (uChild=NoVertex disables Transition 4) and never calling clearDCG.
+// The intact state is a superset of every mid-clearing view a private
+// engine would have seen, so every privately-reported negative is
+// enumerated here; any extra solution reachable only through state a
+// private engine had already destroyed necessarily maps the deleted
+// edge at a lower-rank trigger (the destroyed state's support chain
+// leads to the deleted edge) and is suppressed by the min-rank
+// duplicate check.
+//
+//tf:hotpath
+func (e *Engine) replayBeforeDelete(v graph.VertexID, l graph.Label, v2 graph.VertexID) {
+	for _, ucv := range e.treeSlots(l) {
+		te := e.tree.ParentEdge[ucv]
+		parentV, childV := v, v2
+		if !te.Forward {
+			parentV, childV = v2, v
+		}
+		if !e.d.HasInLabel(parentV, te.Parent) {
+			continue
+		}
+		if !e.g.HasAllLabels(parentV, e.q.Labels(te.Parent)) ||
+			!e.g.HasAllLabels(childV, e.q.Labels(ucv)) {
+			continue
+		}
+		if e.d.GetState(parentV, ucv, childV) == dcg.Explicit &&
+			e.d.MatchAllChildren(parentV, te.Parent) {
+			e.setTrigger(te.Index)
+			e.mapVertex(ucv, childV)
+			e.clearUpwardsAndEval(te.Parent, parentV, graph.NoVertex, false, true)
+			e.unmapVertex(ucv)
+			e.clearTrigger()
+		}
+	}
+	e.deleteNonTreeTriggers(v, l, v2)
 }
 
 // clearUpwardsAndEval is Algorithm 9: map u to v, climb v's incoming

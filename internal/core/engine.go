@@ -91,6 +91,14 @@ type Engine struct {
 	d    *dcg.DCG
 	opt  Options
 
+	// shared marks a sub-pattern member of the multi-query layer
+	// (DESIGN.md §17): d is owned by a maintainer engine that applies all
+	// DCG transitions, and this engine's eval entry points switch to
+	// read-only replay — gate on the maintained state, climb without
+	// transitions, search with this query's own matching order, non-tree
+	// checks, semantics and duplicate avoidance.
+	shared bool
+
 	mo []graph.VertexID // matching order, mo[0] == tree.Root
 
 	// procRank[i] is the processing rank of query edge i: tree edges first
@@ -165,6 +173,19 @@ type Engine struct {
 // query tree, constructs the initial DCG and computes the matching order
 // (Algorithm 2, Lines 1–6). g must not be mutated directly afterwards.
 func New(g *graph.Graph, q *query.Graph, opt Options) (*Engine, error) {
+	tree, err := BuildTree(g, q, opt)
+	if err != nil {
+		return nil, err
+	}
+	return NewWithTree(g, q, tree, opt, nil)
+}
+
+// BuildTree chooses the starting query vertex and transforms q into its
+// query tree over the current graph statistics — the first half of New,
+// exposed so the multi-query layer can canonicalize the tree (the
+// sub-pattern sharing key) before deciding whether to build a private
+// DCG or join an existing shared one.
+func BuildTree(g *graph.Graph, q *query.Graph, opt Options) (*query.Tree, error) {
 	if g == nil || q == nil {
 		return nil, errors.New("core: nil graph or query")
 	}
@@ -177,16 +198,46 @@ func New(g *graph.Graph, q *query.Graph, opt Options) (*Engine, error) {
 	} else if int(us) >= q.NumVertices() {
 		return nil, fmt.Errorf("core: start vertex %d out of range", us)
 	}
-	tree, err := query.TransformToTree(q, us, g)
-	if err != nil {
-		return nil, err
+	return query.TransformToTree(q, us, g)
+}
+
+// OptionsShareable reports whether an engine built with opt may share a
+// sub-pattern DCG. WorkBudget aborts, the NaiveEL and check-and-avoid
+// ablations change maintenance itself, and the WCO search picks its
+// iteration list by comparing candidate-list lengths — which differ
+// between a private mid-transition view and the shared final view — so
+// all four force a private DCG.
+func OptionsShareable(opt Options) bool {
+	return opt.WorkBudget == 0 && !opt.NaiveEL && !opt.DisableCheckAndAvoid &&
+		opt.Search != WCOJoin
+}
+
+// NewWithTree builds an engine over a pre-built query tree. When sharedDCG
+// is nil the engine owns a private DCG, constructed from the current
+// graph exactly as New does. When sharedDCG is non-nil the engine joins
+// it as a read-only sub-pattern member: initial DCG construction is
+// skipped (the shared DCG already holds the fixpoint, and — because
+// candidate enumeration is a pure function of DCG state — the matching
+// order and every future transcript come out identical to what a private
+// DCG would have produced).
+func NewWithTree(g *graph.Graph, q *query.Graph, tree *query.Tree, opt Options, sharedDCG *dcg.DCG) (*Engine, error) {
+	if g == nil || q == nil || tree == nil {
+		return nil, errors.New("core: nil graph, query or tree")
+	}
+	if sharedDCG != nil && !OptionsShareable(opt) {
+		return nil, errors.New("core: options not shareable (budget, ablation or WCO search)")
+	}
+	d := sharedDCG
+	if d == nil {
+		d = dcg.New(tree)
 	}
 	e := &Engine{
 		g:        g,
 		q:        q,
 		tree:     tree,
-		d:        dcg.New(tree),
+		d:        d,
 		opt:      opt,
+		shared:   sharedDCG != nil,
 		m:        make([]graph.VertexID, q.NumVertices()),
 		procRank: make([]int, q.NumEdges()),
 		trigger:  -1,
@@ -220,13 +271,15 @@ func New(g *graph.Graph, q *query.Graph, opt Options) (*Engine, error) {
 		e.nonTreeByLabel[l] = append(e.nonTreeByLabel[l], nt)
 	}
 
-	// Build the initial DCG: a hypothetical edge (v*_s, v_s) insertion for
-	// every v_s with L(u_s) ⊆ L(v_s) (Algorithm 2, Lines 4–5).
-	e.forEachStartCandidate(func(vs graph.VertexID) {
-		e.buildDCG(us, graph.NoVertex, vs)
-	})
-	if e.aborted {
-		return nil, ErrWorkBudget
+	if sharedDCG == nil {
+		// Build the initial DCG: a hypothetical edge (v*_s, v_s) insertion
+		// for every v_s with L(u_s) ⊆ L(v_s) (Algorithm 2, Lines 4–5).
+		e.forEachStartCandidate(func(vs graph.VertexID) {
+			e.buildDCG(tree.Root, graph.NoVertex, vs)
+		})
+		if e.aborted {
+			return nil, ErrWorkBudget
+		}
 	}
 	e.computeMatchingOrder()
 	return e, nil
@@ -238,6 +291,9 @@ func New(g *graph.Graph, q *query.Graph, opt Options) (*Engine, error) {
 //
 //tf:eval-path
 func (e *Engine) NotifyVertexAdded(v graph.VertexID) {
+	if e.shared {
+		return // the maintainer owns root bookkeeping for the shared DCG
+	}
 	if e.g.HasAllLabels(v, e.q.Labels(e.tree.Root)) {
 		e.buildDCG(e.tree.Root, graph.NoVertex, v)
 	}
@@ -343,7 +399,13 @@ func (e *Engine) InsertEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) 
 //tf:eval-path
 func (e *Engine) EvalInsertedEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) (int64, error) {
 	e.beginOp(graph.Edge{From: v, Label: l, To: v2}, true)
-	e.insertEdgeAndEval(v, l, v2)
+	if e.shared {
+		// The maintainer has already applied every DCG transition for this
+		// update; replay the trigger gates and search read-only.
+		e.replayInsertedEdge(v, l, v2)
+	} else {
+		e.insertEdgeAndEval(v, l, v2)
+	}
 	if e.opt.NaiveEL {
 		e.rebuildFromSpec()
 	}
@@ -382,6 +444,13 @@ func (e *Engine) DeleteEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) 
 //tf:eval-path
 func (e *Engine) EvalBeforeDelete(v graph.VertexID, l graph.Label, v2 graph.VertexID) (int64, error) {
 	e.beginOp(graph.Edge{From: v, Label: l, To: v2}, false)
+	if e.shared {
+		// Replay against the still-intact shared DCG; the maintainer clears
+		// the affected branches afterwards, so order adjustment must wait
+		// until the coordinator calls AdjustOrderDeferred post-clearing.
+		e.replayBeforeDelete(v, l, v2)
+		return e.endOp(), nil
+	}
 	e.deleteEdgeAndEval(v, l, v2)
 	e.maybeAdjustOrder()
 	n := e.endOp()
@@ -390,6 +459,131 @@ func (e *Engine) EvalBeforeDelete(v graph.VertexID, l graph.Label, v2 graph.Vert
 	}
 	return n, nil
 }
+
+// NewMaintainer builds the maintenance engine for a shared sub-pattern
+// DCG (DESIGN.md §17). The donor is the engine whose DCG is being
+// promoted to shared: the maintainer adopts its graph, query tree and
+// DCG, and reuses its immutable routing tables (procRank and the label
+// indexes are fixed at construction). The maintainer never searches and
+// never reports — it exists to apply every DCG transition of an update
+// exactly once, through the same Algorithm 5/8 tree loops a private
+// engine runs, so the shared DCG's state trajectory is identical to any
+// private engine over the same tree. rootSeen is copied, not aliased:
+// the donor becomes a read-only member and must not race the
+// maintainer's root bookkeeping.
+func NewMaintainer(donor *Engine) *Engine {
+	e := &Engine{
+		g:                donor.g,
+		q:                donor.q,
+		tree:             donor.tree,
+		d:                donor.d,
+		opt:              DefaultOptions(),
+		m:                make([]graph.VertexID, donor.q.NumVertices()),
+		procRank:         donor.procRank,
+		treeSlotsByLabel: donor.treeSlotsByLabel,
+		nonTreeByLabel:   donor.nonTreeByLabel,
+		rootSeen:         append([]bool(nil), donor.rootSeen...),
+		trigger:          -1,
+	}
+	for i := range e.m {
+		e.m[i] = graph.NoVertex
+	}
+	return e
+}
+
+// MaintainInsertedEdge applies the DCG transitions of an edge insertion
+// without searching: the tree-trigger loop of Algorithm 5 with
+// searchable=false climbs. Maintenance is semantics- and
+// search-independent, so the resulting DCG state equals what any private
+// member engine would have produced. Non-tree triggers never modify the
+// DCG and are skipped entirely.
+//
+//tf:eval-path
+func (e *Engine) MaintainInsertedEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) {
+	e.beginOp(graph.Edge{From: v, Label: l, To: v2}, true)
+	e.ensureRootEdge(v)
+	if v2 != v {
+		e.ensureRootEdge(v2)
+	}
+	for _, ucv := range e.treeSlots(l) {
+		te := e.tree.ParentEdge[ucv]
+		parentV, childV := v, v2
+		if !te.Forward {
+			parentV, childV = v2, v
+		}
+		if !e.d.HasInLabel(parentV, te.Parent) {
+			continue
+		}
+		if !e.g.HasAllLabels(parentV, e.q.Labels(te.Parent)) ||
+			!e.g.HasAllLabels(childV, e.q.Labels(ucv)) {
+			continue
+		}
+		e.buildDCG(ucv, parentV, childV)
+		if e.d.GetState(parentV, ucv, childV) != dcg.Explicit {
+			continue
+		}
+		if !e.d.MatchAllChildren(parentV, te.Parent) {
+			continue
+		}
+		e.buildUpwardsAndEval(te.Parent, parentV, true, false)
+	}
+	e.endOp()
+}
+
+// MaintainBeforeDelete applies the DCG transitions of an edge deletion
+// without searching: the tree-trigger loop of Algorithm 8 with
+// searchable=false climbs (Transition 4 downgrades) followed by the
+// Algorithm 10 clearing. Members must have replayed their negative
+// searches against the still-intact DCG before this runs.
+//
+//tf:eval-path
+func (e *Engine) MaintainBeforeDelete(v graph.VertexID, l graph.Label, v2 graph.VertexID) {
+	e.beginOp(graph.Edge{From: v, Label: l, To: v2}, false)
+	for _, ucv := range e.treeSlots(l) {
+		te := e.tree.ParentEdge[ucv]
+		parentV, childV := v, v2
+		if !te.Forward {
+			parentV, childV = v2, v
+		}
+		if !e.d.HasInLabel(parentV, te.Parent) {
+			continue
+		}
+		if !e.g.HasAllLabels(parentV, e.q.Labels(te.Parent)) ||
+			!e.g.HasAllLabels(childV, e.q.Labels(ucv)) {
+			continue
+		}
+		if e.d.GetState(parentV, ucv, childV) == dcg.Explicit &&
+			e.d.MatchAllChildren(parentV, te.Parent) {
+			e.clearUpwardsAndEval(te.Parent, parentV, ucv, true, false)
+		}
+		e.clearDCG(ucv, parentV, childV)
+	}
+	e.endOp()
+}
+
+// AdjustOrderDeferred runs the matching-order drift check that
+// EvalBeforeDelete skips for shared members: a private engine adjusts on
+// the post-clearing DCG, so shared members must wait until the
+// maintainer has cleared before sampling the same state.
+func (e *Engine) AdjustOrderDeferred() {
+	e.maybeAdjustOrder()
+}
+
+// ShareDCG flips a private engine into shared-member mode: its DCG is
+// adopted by a maintainer and every future eval replays read-only. The
+// caller must have built the maintainer from this engine (or an engine
+// with the identical tree) before the next update.
+func (e *Engine) ShareDCG() { e.shared = true }
+
+// UnshareDCG flips a shared member back to private mode, returning DCG
+// ownership to it: the engine resumes applying its own transitions. Its
+// rootSeen cache may have missed vertices settled while shared; missing
+// entries just re-probe, recorded entries remain true (root edges are
+// never nulled and labels are immutable).
+func (e *Engine) UnshareDCG() { e.shared = false }
+
+// SharedMember reports whether the engine is in shared-member mode.
+func (e *Engine) SharedMember() bool { return e.shared }
 
 // Apply applies one stream update and returns the number of matches it
 // produced. Vertex declarations create the vertex (and, when it matches

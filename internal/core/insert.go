@@ -55,8 +55,17 @@ func (e *Engine) insertEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.Ver
 		e.clearTrigger()
 	}
 
-	// Non-tree query edges (Lines 11–18): they seed a transition-free
-	// upward traversal from the From-endpoint.
+	e.insertNonTreeTriggers(v, l, v2)
+}
+
+// insertNonTreeTriggers runs the non-tree trigger loop of Algorithm 5
+// (Lines 11–18): each matching non-tree query edge seeds a
+// transition-free upward traversal from its From-endpoint. Non-tree
+// triggers never modify the DCG, so the loop is identical for private
+// evaluation and shared-member replay.
+//
+//tf:hotpath
+func (e *Engine) insertNonTreeTriggers(v graph.VertexID, l graph.Label, v2 graph.VertexID) {
 	for _, nt := range e.nonTreeSlots(l) {
 		qe := e.q.Edge(nt)
 		// The data edge is directed, so m(qe.From)=v and m(qe.To)=v2.
@@ -79,6 +88,49 @@ func (e *Engine) insertEdgeAndEval(v graph.VertexID, l graph.Label, v2 graph.Ver
 		}
 		e.clearTrigger()
 	}
+}
+
+// replayInsertedEdge is the shared-member twin of insertEdgeAndEval
+// (DESIGN.md §17): the maintainer has already applied every DCG
+// transition for this insertion, so the member re-runs the trigger gates
+// against the post-maintenance state and climbs transition-free
+// (transit=false), searching with its own matching order, semantics and
+// duplicate avoidance. Insertion transitions are monotone, so the
+// maintained state is a superset of every mid-update view a private
+// engine would have seen: every privately-reported solution is
+// enumerated here, and any extra solution necessarily maps the updated
+// edge at an outranking trigger and is suppressed by the max-rank
+// duplicate check — candidate enumeration being a pure function of DCG
+// state makes the surviving emission order byte-identical.
+//
+//tf:hotpath
+func (e *Engine) replayInsertedEdge(v graph.VertexID, l graph.Label, v2 graph.VertexID) {
+	for _, ucv := range e.treeSlots(l) {
+		te := e.tree.ParentEdge[ucv]
+		parentV, childV := v, v2
+		if !te.Forward {
+			parentV, childV = v2, v
+		}
+		if !e.d.HasInLabel(parentV, te.Parent) {
+			continue
+		}
+		if !e.g.HasAllLabels(parentV, e.q.Labels(te.Parent)) ||
+			!e.g.HasAllLabels(childV, e.q.Labels(ucv)) {
+			continue
+		}
+		if e.d.GetState(parentV, ucv, childV) != dcg.Explicit {
+			continue
+		}
+		if !e.d.MatchAllChildren(parentV, te.Parent) {
+			continue
+		}
+		e.setTrigger(te.Index)
+		e.mapVertex(ucv, childV)
+		e.buildUpwardsAndEval(te.Parent, parentV, false, true)
+		e.unmapVertex(ucv)
+		e.clearTrigger()
+	}
+	e.insertNonTreeTriggers(v, l, v2)
 }
 
 // ensureRootEdge creates the root DCG edge (v*_s, u_s, w) for a data

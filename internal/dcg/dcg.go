@@ -22,13 +22,17 @@
 // future cross-query caches can detect stale slot references. Each slot
 // owns, per query-vertex label u':
 //
-//   - a sorted in-edge list (parent, state, outPos) searched by binary
-//     search — ascending parent order also makes every parent enumeration
+//   - a sorted in-edge list (parent, state) searched by binary search —
+//     ascending parent order also makes every parent enumeration
 //     deterministic without per-call sorting;
-//   - an explicit-children array (the candidate list SubgraphSearch
-//     enumerates), maintained in O(1) by swap-remove through the outPos
-//     back-index each Explicit in-edge carries, the eidx_ idiom of the
-//     reference implementation.
+//   - a sorted explicit-children array (the candidate list SubgraphSearch
+//     enumerates), maintained by binary-search insert/remove. Keeping it
+//     sorted makes candidate enumeration a pure function of the DCG
+//     *state*, independent of the insertion/deletion history that
+//     produced it — the property the multi-query layer relies on when
+//     several queries share one DCG and each must reproduce, byte for
+//     byte, the transcript a private DCG (with a different history)
+//     would have produced (DESIGN.md §17).
 //
 // The per-label explicit-out count — the paper's bitmap bit — is simply
 // the length of the explicit-children array, so MatchAllChildren stays
@@ -77,13 +81,11 @@ func (s State) String() string {
 const EdgeBytes = 16
 
 // inEdge is one stored incoming DCG edge of a vertex: the parent data
-// vertex (graph.NoVertex for root edges), the edge state, and — when the
-// state is Explicit and the parent is a real vertex — the index of this
-// child in the parent's explicit-children array, so leaving Explicit
-// swap-removes the parent-side entry without searching it.
+// vertex (graph.NoVertex for root edges) and the edge state. The
+// parent-side explicit-children entry is found by binary search over the
+// sorted children array when the edge leaves Explicit.
 type inEdge struct {
 	parent graph.VertexID
-	outPos int32
 	state  State
 }
 
@@ -104,6 +106,24 @@ func searchIn(l []inEdge, p graph.VertexID) (int, bool) {
 		}
 	}
 	return lo, lo < len(l) && l[lo].parent == p
+}
+
+// searchOut returns the position of child v in the sorted explicit-
+// children list l and whether it is present; an absent child maps to its
+// insertion position.
+//
+//tf:hotpath
+func searchOut(l []graph.VertexID, v graph.VertexID) (int, bool) {
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(l) && l[lo] == v
 }
 
 // inShrinkMin is the smallest in-edge backing-array capacity delete
@@ -260,27 +280,19 @@ func (d *DCG) MakeTransition(v graph.VertexID, u graph.VertexID, v2 graph.Vertex
 		return false
 	}
 
-	// Leaving Explicit: swap-remove v2 from the parent's explicit-children
-	// array through the outPos back-index, fixing up the moved element's
-	// own back-pointer. Must run before the in-edge entry (holding outPos)
-	// is removed or overwritten.
+	// Leaving Explicit: remove v2 from the parent's sorted explicit-
+	// children array, preserving ascending order so candidate enumeration
+	// stays a pure function of the DCG state (see the package comment).
 	if cur == Explicit {
 		d.numExplicit--
 		d.explByLabel[u]--
 		if v != graph.NoVertex {
-			op := d.nodes[s2].in[u][idx].outPos
 			pn := &d.nodes[d.slot(v)] // parent owns an out entry, so it has a slot
 			list := pn.out[u]
-			last := len(list) - 1
-			moved := list[last]
-			list[op] = moved
-			pn.out[u] = list[:last]
+			op, _ := searchOut(list, v2)
+			copy(list[op:], list[op+1:])
+			pn.out[u] = list[:len(list)-1]
 			pn.outTotal--
-			if moved != v2 {
-				ml := d.nodes[d.slot(moved)].in[u]
-				j, _ := searchIn(ml, v)
-				ml[j].outPos = op
-			}
 		}
 	}
 
@@ -311,7 +323,7 @@ func (d *DCG) MakeTransition(v graph.VertexID, u graph.VertexID, v2 graph.Vertex
 		n := &d.nodes[s2]
 		l := append(n.in[u], inEdge{})
 		copy(l[idx+1:], l[idx:])
-		l[idx] = inEdge{parent: v, state: target, outPos: -1}
+		l[idx] = inEdge{parent: v, state: target}
 		n.in[u] = l
 		n.inTotal++
 		d.numEdges++
@@ -319,18 +331,21 @@ func (d *DCG) MakeTransition(v graph.VertexID, u graph.VertexID, v2 graph.Vertex
 		d.nodes[s2].in[u][idx].state = target
 	}
 
-	// Entering Explicit: append v2 to the parent's explicit-children array
-	// and record the back-index on the in-edge entry. ensureSlot may grow
-	// d.nodes, so slot pointers are re-resolved after it.
+	// Entering Explicit: insert v2 into the parent's explicit-children
+	// array at its sorted position. ensureSlot may grow d.nodes, so slot
+	// pointers are re-resolved after it.
 	if target == Explicit {
 		d.numExplicit++
 		d.explByLabel[u]++
 		if v != graph.NoVertex {
 			ps := d.ensureSlot(v)
 			pn := &d.nodes[ps]
-			pn.out[u] = append(pn.out[u], v2)
+			list := append(pn.out[u], graph.NoVertex)
+			op, _ := searchOut(list[:len(list)-1], v2)
+			copy(list[op+1:], list[op:])
+			list[op] = v2
+			pn.out[u] = list
 			pn.outTotal++
-			d.nodes[s2].in[u][idx].outPos = int32(len(pn.out[u]) - 1)
 		}
 	}
 
@@ -629,11 +644,14 @@ func (d *DCG) Validate() error {
 					return fmt.Errorf("dcg: explicit edge (%d,%d,%d) but parent has no slot", e.parent, u, v2)
 				}
 				plist := d.nodes[ps].out[u]
-				if e.outPos < 0 || int(e.outPos) >= len(plist) || plist[e.outPos] != v2 {
-					return fmt.Errorf("dcg: outPos back-index broken at (%d,%d,%d)", e.parent, u, v2)
+				if _, ok := searchOut(plist, v2); !ok {
+					return fmt.Errorf("dcg: explicit edge (%d,%d,%d) missing from parent's children", e.parent, u, v2)
 				}
 			}
 			for i, c := range n.out[u] {
+				if i > 0 && n.out[u][i-1] >= c {
+					return fmt.Errorf("dcg: explicit children of (%d, u%d) not strictly sorted at %d", v2, u, i)
+				}
 				cs := d.slot(c)
 				if cs < 0 {
 					return fmt.Errorf("dcg: explicit child (%d,%d,%d) has no slot", v2, u, c)
@@ -642,9 +660,6 @@ func (d *DCG) Validate() error {
 				j, ok := searchIn(cl, v2)
 				if !ok || cl[j].state != Explicit {
 					return fmt.Errorf("dcg: out-adjacency (%d,%d,%d) not explicit", v2, u, c)
-				}
-				if cl[j].outPos != int32(i) {
-					return fmt.Errorf("dcg: out-adjacency position index broken at (%d,%d,%d)", v2, u, c)
 				}
 			}
 		}

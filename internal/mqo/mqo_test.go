@@ -1,0 +1,155 @@
+package mqo
+
+import (
+	"testing"
+
+	"turboflux/internal/graph"
+	"turboflux/internal/query"
+)
+
+func TestRegistryLifecycle(t *testing.T) {
+	r := NewRegistry()
+	if r.Len() != 0 || r.TotalRefs() != 0 || r.SharedCount() != 0 {
+		t.Fatalf("empty registry: len=%d refs=%d shared=%d", r.Len(), r.TotalRefs(), r.SharedCount())
+	}
+	a, created := r.Acquire("a")
+	if !created || a.Refs != 1 {
+		t.Fatalf("first acquire: created=%v refs=%d", created, a.Refs)
+	}
+	a2, created := r.Acquire("a")
+	if created || a2 != a || a.Refs != 2 {
+		t.Fatalf("second acquire: created=%v same=%v refs=%d", created, a2 == a, a.Refs)
+	}
+	b, created := r.Acquire("b")
+	if !created || b == a {
+		t.Fatal("distinct key must create a distinct entry")
+	}
+	if r.Len() != 2 || r.TotalRefs() != 3 || r.SharedCount() != 1 {
+		t.Fatalf("after acquires: len=%d refs=%d shared=%d", r.Len(), r.TotalRefs(), r.SharedCount())
+	}
+	if r.Get("a") != a || r.Get("missing") != nil {
+		t.Fatal("Get mismatch")
+	}
+	if left := r.Release(a); left != 1 {
+		t.Fatalf("release: left=%d", left)
+	}
+	if r.SharedCount() != 0 {
+		t.Fatal("demoted entry still counted shared")
+	}
+	if left := r.Release(a); left != 0 {
+		t.Fatalf("final release: left=%d", left)
+	}
+	if r.Get("a") != nil || r.Len() != 1 || r.TotalRefs() != 1 {
+		t.Fatalf("after removal: len=%d refs=%d", r.Len(), r.TotalRefs())
+	}
+	// Re-acquiring a released key starts a fresh entry with a nil Payload.
+	a3, created := r.Acquire("a")
+	if !created || a3 == a || a3.Payload != nil {
+		t.Fatal("re-acquire must create a fresh entry")
+	}
+}
+
+func TestRegistryReleaseNil(t *testing.T) {
+	r := NewRegistry()
+	if r.Release(nil) != 0 {
+		t.Fatal("nil release")
+	}
+	e, _ := r.Acquire("x")
+	r.Release(e)
+	if r.Release(e) != 0 || r.TotalRefs() != 0 {
+		t.Fatal("double release must not underflow")
+	}
+}
+
+// buildTree builds the query tree the way the multi-query layer does.
+func buildTree(t *testing.T, q *query.Graph, root graph.VertexID) *query.Tree {
+	t.Helper()
+	g := graph.New()
+	tree, err := query.TransformToTree(q, root, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestKeyOfSharesAcrossNonTreeEdges(t *testing.T) {
+	// Path query u0 -a-> u1 -b-> u2.
+	mk := func(extra bool) (*query.Graph, *query.Tree) {
+		q := query.NewGraph(3)
+		q.SetLabels(0, 0)
+		q.SetLabels(1, 1)
+		q.SetLabels(2, 1)
+		if err := q.AddEdge(0, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := q.AddEdge(1, 1, 2); err != nil {
+			t.Fatal(err)
+		}
+		if extra {
+			// Closing edge u0 -c-> u2: heavier label stays non-tree on an
+			// empty graph (estimates tie, tree greedily keeps declaration
+			// order), so the spanning tree is unchanged.
+			if err := q.AddEdge(0, 2, 2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		tree := buildTree(t, q, 0)
+		return q, tree
+	}
+	q1, t1 := mk(false)
+	q2, t2 := mk(true)
+	if len(t2.NonTree) != 1 {
+		t.Fatalf("closing edge should be non-tree, got %v", t2.NonTree)
+	}
+	if KeyOf(q1, t1) != KeyOf(q2, t2) {
+		t.Fatalf("keys must match across non-tree differences:\n%q\n%q", KeyOf(q1, t1), KeyOf(q2, t2))
+	}
+}
+
+func TestKeyOfDiscriminates(t *testing.T) {
+	base := func() *query.Graph {
+		q := query.NewGraph(2)
+		q.SetLabels(0, 0)
+		q.SetLabels(1, 1)
+		return q
+	}
+	q1 := base()
+	if err := q1.AddEdge(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	k1 := KeyOf(q1, buildTree(t, q1, 0))
+
+	// Different edge label.
+	q2 := base()
+	if err := q2.AddEdge(0, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if KeyOf(q2, buildTree(t, q2, 0)) == k1 {
+		t.Fatal("edge label must discriminate")
+	}
+
+	// Different direction.
+	q3 := base()
+	if err := q3.AddEdge(1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if KeyOf(q3, buildTree(t, q3, 0)) == k1 {
+		t.Fatal("edge direction must discriminate")
+	}
+
+	// Different vertex labels.
+	q4 := query.NewGraph(2)
+	q4.SetLabels(0, 0)
+	q4.SetLabels(1, 2)
+	if err := q4.AddEdge(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if KeyOf(q4, buildTree(t, q4, 0)) == k1 {
+		t.Fatal("vertex labels must discriminate")
+	}
+
+	// Different root.
+	if KeyOf(q1, buildTree(t, q1, 1)) == k1 {
+		t.Fatal("root must discriminate")
+	}
+}

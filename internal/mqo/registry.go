@@ -1,0 +1,97 @@
+// Package mqo implements the multi-query optimization layer's
+// sub-pattern registry (DESIGN.md §17): registered queries are
+// canonicalized down to their spanning-tree shape, refcounted, and every
+// distinct shape owns ONE shared DCG maintained once per update, with
+// per-query completion joins (non-tree checks, semantics, emission
+// attribution) layered on top by the multi-query front end.
+package mqo
+
+// Entry is one refcounted sub-pattern: a distinct spanning-tree shape
+// shared by Refs registered queries. Payload is owned by the front end
+// (the MultiEngine attaches its shared-evaluation state — maintainer
+// engine and member list — here); the registry only tracks identity and
+// lifetime.
+type Entry struct {
+	Key     string
+	Refs    int
+	Payload any
+}
+
+// Registry maps canonical sub-pattern keys to refcounted entries. It is
+// confined to the actor that owns query registration (the MultiEngine):
+// all methods must be called from that single goroutine.
+//
+//tf:actor-owned
+type Registry struct {
+	entries map[string]*Entry
+	// totalRefs is the sum of Refs over all entries — one per registered
+	// shareable query — maintained incrementally for O(1) stats.
+	totalRefs int
+}
+
+// NewRegistry returns an empty sub-pattern registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*Entry)}
+}
+
+// Acquire takes one reference on the sub-pattern identified by key,
+// creating its entry if this is the first reference. It returns the
+// entry and whether it was newly created (Refs == 1 and Payload nil:
+// the caller must attach its evaluation state).
+//
+//tf:map-ok registration-time only, never on the per-update path
+func (r *Registry) Acquire(key string) (*Entry, bool) {
+	e := r.entries[key]
+	created := e == nil
+	if created {
+		e = &Entry{Key: key}
+		r.entries[key] = e
+	}
+	e.Refs++
+	r.totalRefs++
+	return e, created
+}
+
+// Release drops one reference on e and returns the remaining count.
+// At zero the entry is removed from the registry and must not be
+// reused; the caller tears down its Payload.
+//
+//tf:map-ok unregistration-time only, never on the per-update path
+func (r *Registry) Release(e *Entry) int {
+	if e == nil || e.Refs <= 0 {
+		return 0
+	}
+	e.Refs--
+	r.totalRefs--
+	if e.Refs == 0 {
+		delete(r.entries, e.Key)
+	}
+	return e.Refs
+}
+
+// Get returns the entry for key, or nil.
+//
+//tf:map-ok registration-time lookup, never on the per-update path
+func (r *Registry) Get(key string) *Entry { return r.entries[key] }
+
+// Len returns the number of distinct sub-patterns currently registered.
+func (r *Registry) Len() int { return len(r.entries) }
+
+// TotalRefs returns the total reference count across all sub-patterns —
+// the number of registered queries participating in the registry.
+func (r *Registry) TotalRefs() int { return r.totalRefs }
+
+// SharedCount returns the number of sub-patterns with two or more
+// references — the shapes whose maintenance is actually deduplicated.
+//
+//tf:map-ok stats snapshot, never on the per-update path
+func (r *Registry) SharedCount() int {
+	n := 0
+	//tf:unordered-ok counting refcounts; no emission order depends on it
+	for _, e := range r.entries {
+		if e.Refs >= 2 {
+			n++
+		}
+	}
+	return n
+}

@@ -29,6 +29,7 @@ type engineHost interface {
 	ApplyBatchFunc(ups []turboflux.Update, boundary func(i int)) (map[string]int64, error)
 	Stats() map[string]turboflux.Stats
 	FanOutStats() turboflux.FanOutStats
+	MQOStats() turboflux.MQOStats
 	Close() error
 }
 
@@ -457,6 +458,10 @@ func (a *actor) statsLines() []string {
 	lines = append(lines, fmt.Sprintf(
 		"fanout workers=%d evals=%d skipped=%d pooled=%d batches=%d busy_ns=%d",
 		fs.Workers, fs.Evals, fs.Skipped, fs.Pooled, fs.Batches, fs.BusyNs))
+	ms := a.host.MQOStats()
+	lines = append(lines, fmt.Sprintf(
+		"mqo subpats=%d shared=%d refs=%d maintain=%d saved=%d replays=%d",
+		ms.SubPatterns, ms.SharedSubPatterns, ms.Refs, ms.MaintainRuns, ms.SavedEvals, ms.SharedReplays))
 	if a.durable != nil {
 		lines = append(lines, fmt.Sprintf("wal lsn=%d snap_lsn=%d",
 			a.durable.LSN(), a.durable.Store().SnapLSN()))

@@ -158,13 +158,28 @@ func runServerBatchWorkload(t *testing.T, workers, batchSize int, binary bool) (
 // wall-clock timing; the sub lines carry pump-timing-dependent queue
 // depths; the fanout line mixes equivalent fields (evals, skipped) with
 // ones batching legitimately changes (batches, pooled, busy_ns), so it is
-// reduced to the equivalent fields only when requested.
+// reduced to the equivalent fields only when requested. The mqo line is
+// reduced to its structural fields (subpats, shared, refs) — the
+// maintain/saved/replays counters depend on how updates group into runs
+// (the batch scheduler maintains a sub-pattern only for the updates it
+// routes to it, the sequential path for every update).
 func comparableStats(t *testing.T, lines []string, fanout bool) []string {
 	t.Helper()
 	var out []string
 	for _, l := range lines {
 		switch {
 		case strings.HasPrefix(l, "apply_latency"), strings.HasPrefix(l, "sub "):
+		case strings.HasPrefix(l, "mqo "):
+			kv := map[string]string{}
+			for _, f := range strings.Fields(l)[1:] {
+				k, v, ok := strings.Cut(f, "=")
+				if !ok {
+					t.Fatalf("malformed mqo field %q in %q", f, l)
+				}
+				kv[k] = v
+			}
+			out = append(out, fmt.Sprintf("mqo subpats=%s shared=%s refs=%s",
+				kv["subpats"], kv["shared"], kv["refs"]))
 		case strings.HasPrefix(l, "fanout "):
 			if !fanout {
 				continue

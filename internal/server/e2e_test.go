@@ -65,9 +65,12 @@ func runServerE2EDeterminism(t *testing.T, workers int) {
 		labelLikes = turboflux.Label(1) // "likes"
 	)
 	queries := map[string]string{
-		"knows2":    "(a:P)-[:knows]->(b:P)",
-		"likes2":    "(a:P)-[:likes]->(b:P)",
-		"knows2rev": "(b:P)-[:knows]->(a:P)",
+		"knows2": "(a:P)-[:knows]->(b:P)",
+		"likes2": "(a:P)-[:likes]->(b:P)",
+		// A distinct tree shape on the same label: a reversed 2-path would
+		// collapse into knows2's shared sub-pattern and ride its pool task,
+		// leaving nothing to pool.
+		"knows3": "(a:P)-[:knows]->(b:P), (b)-[:knows]->(c:P)",
 	}
 
 	vdict := turboflux.NewDict()
@@ -98,7 +101,18 @@ func runServerE2EDeterminism(t *testing.T, workers int) {
 
 	clients := make([]*Client, nClients)
 	for i := range clients {
-		clients[i] = dialTest(t, addr)
+		// Events are drained only after every writer finishes, so the
+		// Events channel must hold each client's whole transcript — knows3
+		// alone emits thousands of 3-path matches on this dense workload,
+		// far past Dial's default 256 buffer (a full channel would block the
+		// read loop and deadlock the writers behind their own event
+		// backlog).
+		c, err := DialBuffered(addr, 1<<19)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() }) //tf:unchecked-ok test cleanup
+		clients[i] = c
 		for name := range queries {
 			if seq, err := clients[i].Subscribe(name); err != nil || seq != 0 {
 				t.Fatalf("client %d subscribe %s: seq=%d err=%v", i, name, seq, err)
@@ -285,8 +299,9 @@ func runServerE2EDeterminism(t *testing.T, workers int) {
 		t.Fatalf("fanout evals = 0: %q", fanout)
 	}
 	if workers > 1 {
-		// knows2 and knows2rev share a label, so "knows" updates pool two
-		// engines; likes2 is skipped on those updates.
+		// knows2 and knows3 share a label but not a tree shape, so "knows"
+		// updates pool two sub-pattern tasks; likes2 is skipped on those
+		// updates.
 		if kv["batches"] == 0 || kv["pooled"] == 0 {
 			t.Fatalf("parallel actor never pooled work: %q", fanout)
 		}

@@ -39,8 +39,34 @@ type StatsInfo struct {
 	ShardsAlive int
 	Shards      []ShardStat
 
+	// mqo line: sub-pattern sharing counters (DESIGN.md §17). A server
+	// reports its own engine; a coordinator reports the sum of its shards'
+	// last-probed counters.
+	MQO MQOStat
+
 	Queries []QueryStat
 	Raw     []string
+}
+
+// MQOStat is the "mqo ..." line: the multi-query sharing state of an
+// engine (or, on a coordinator, the aggregate over shards).
+type MQOStat struct {
+	SubPatterns   int
+	Shared        int
+	Refs          int
+	MaintainRuns  uint64
+	SavedEvals    uint64
+	SharedReplays uint64
+}
+
+// DedupRatio returns the member maintenance evaluations avoided per
+// maintainer run — the sharing payoff per maintained update (0 when
+// nothing has been maintained).
+func (s MQOStat) DedupRatio() float64 {
+	if s.MaintainRuns == 0 {
+		return 0
+	}
+	return float64(s.SavedEvals) / float64(s.MaintainRuns)
 }
 
 // FollowerStat is one "follower ..." line on a leader.
@@ -62,6 +88,10 @@ type ShardStat struct {
 	Lag     uint64
 	PingUs  int64
 	Misses  int
+	// Sub-pattern sharing state from the shard's last STATS probe.
+	SubPatterns int
+	Refs        int
+	SavedEvals  uint64
 }
 
 // QueryStat is one "query ..." line. A server reports match counters; a
@@ -145,15 +175,27 @@ func ParseStats(lines []string) (StatsInfo, error) {
 			}
 			p.kv = parseKV(fields[2:])
 			info.Shards = append(info.Shards, ShardStat{
-				ID:      id,
-				Addr:    p.kv["addr"],
-				Alive:   p.bool("alive"),
-				Queries: int(p.uint("queries")),
-				Seq:     p.uint("seq"),
-				Lag:     p.uint("lag"),
-				PingUs:  p.int("ping_us"),
-				Misses:  int(p.uint("misses")),
+				ID:          id,
+				Addr:        p.kv["addr"],
+				Alive:       p.bool("alive"),
+				Queries:     int(p.uint("queries")),
+				Seq:         p.uint("seq"),
+				Lag:         p.uint("lag"),
+				PingUs:      p.int("ping_us"),
+				Misses:      int(p.uint("misses")),
+				SubPatterns: int(p.uint("subpats")),
+				Refs:        int(p.uint("refs")),
+				SavedEvals:  p.uint("saved"),
 			})
+		case "mqo":
+			info.MQO = MQOStat{
+				SubPatterns:   int(p.uint("subpats")),
+				Shared:        int(p.uint("shared")),
+				Refs:          int(p.uint("refs")),
+				MaintainRuns:  p.uint("maintain"),
+				SavedEvals:    p.uint("saved"),
+				SharedReplays: p.uint("replays"),
+			}
 		case "query":
 			if len(fields) < 2 {
 				return StatsInfo{}, fmt.Errorf("server: bad query line %q", line)

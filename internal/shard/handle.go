@@ -101,6 +101,17 @@ type shardHandle struct {
 	misses  atomic.Int64  // consecutive heartbeat misses
 	pingUs  atomic.Int64  // last successful probe round trip
 
+	// Sub-pattern sharing counters mirrored from the shard's last STATS
+	// probe: the heartbeat goroutine writes, the router's STATS rendering
+	// reads. The coordinator holds no engine of its own, so this mirror is
+	// its only view of shard-side sharing (DESIGN.md §17).
+	mqoSubpats  atomic.Int64
+	mqoShared   atomic.Int64
+	mqoRefs     atomic.Int64
+	mqoMaintain atomic.Uint64
+	mqoSaved    atomic.Uint64
+	mqoReplays  atomic.Uint64
+
 	reasonMu sync.Mutex
 	reason   string // first cause of death
 
@@ -147,7 +158,19 @@ func attach(id int, addr string, opt Options) (*shardHandle, error) {
 		hbMisses:   opt.HeartbeatMisses,
 	}
 	h.alive.Store(true)
+	h.storeMQO(info.MQO)
 	return h, nil
+}
+
+// storeMQO mirrors one STATS probe's sharing counters into the handle's
+// atomics.
+func (h *shardHandle) storeMQO(s server.MQOStat) {
+	h.mqoSubpats.Store(int64(s.SubPatterns))
+	h.mqoShared.Store(int64(s.Shared))
+	h.mqoRefs.Store(int64(s.Refs))
+	h.mqoMaintain.Store(s.MaintainRuns)
+	h.mqoSaved.Store(s.SavedEvals)
+	h.mqoReplays.Store(s.SharedReplays)
 }
 
 // start launches the fanner and heartbeat goroutines (after the router
@@ -261,7 +284,9 @@ func (h *shardHandle) execute(t *task) taskResult {
 // heartbeat probes the shard at hbInterval and marks it down after
 // hbMisses consecutive failures. A timed-out probe poisons the prober
 // connection, so later probes fail fast and the misses accumulate —
-// fail-stop, no redial.
+// fail-stop, no redial. The probe is a STATS round trip rather than a
+// bare PING: the same request that proves liveness refreshes the
+// handle's mirror of the shard's sharing counters.
 func (h *shardHandle) heartbeat() {
 	defer h.wg.Done()
 	tick := time.NewTicker(h.hbInterval)
@@ -275,7 +300,8 @@ func (h *shardHandle) heartbeat() {
 				continue
 			}
 			start := time.Now()
-			if err := h.hb.Ping(); err != nil {
+			info, err := h.hb.StatsInfo()
+			if err != nil {
 				if n := h.misses.Add(1); int(n) >= h.hbMisses {
 					h.down(fmt.Errorf("heartbeat: %d consecutive misses: %w", n, err)) //tf:unchecked-ok down-marking is the effect; no caller to report to
 				}
@@ -283,6 +309,7 @@ func (h *shardHandle) heartbeat() {
 			}
 			h.misses.Store(0)
 			h.pingUs.Store(time.Since(start).Microseconds())
+			h.storeMQO(info.MQO)
 		}
 	}
 }

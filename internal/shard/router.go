@@ -344,7 +344,9 @@ func (r *router) fanTo(shard int, t *task) pending {
 }
 
 // statsLines renders the coordinator STATS payload: the cluster line,
-// one line per shard, then one line per query in registration order.
+// the aggregate mqo line (summed over the shards' last-probed sharing
+// counters), one line per shard, then one line per query in
+// registration order.
 func (r *router) statsLines() []string {
 	alive := 0
 	for _, h := range r.shards {
@@ -356,6 +358,18 @@ func (r *router) statsLines() []string {
 	lines = append(lines, fmt.Sprintf(
 		"cluster role=coordinator shards=%d alive=%d seq=%d updates=%d events=%d conns=%d",
 		len(r.shards), alive, r.seq, r.seq, r.co.events.Load(), r.co.connCount.Load()))
+	var mq struct{ subpats, shared, refs, maintain, saved, replays uint64 }
+	for _, h := range r.shards {
+		mq.subpats += uint64(h.mqoSubpats.Load())
+		mq.shared += uint64(h.mqoShared.Load())
+		mq.refs += uint64(h.mqoRefs.Load())
+		mq.maintain += h.mqoMaintain.Load()
+		mq.saved += h.mqoSaved.Load()
+		mq.replays += h.mqoReplays.Load()
+	}
+	lines = append(lines, fmt.Sprintf(
+		"mqo subpats=%d shared=%d refs=%d maintain=%d saved=%d replays=%d",
+		mq.subpats, mq.shared, mq.refs, mq.maintain, mq.saved, mq.replays))
 	lines = r.shardLines(lines)
 	for _, name := range r.table.order {
 		a := r.table.byName[name]
@@ -370,9 +384,10 @@ func (r *router) shardLines(lines []string) []string {
 	for _, h := range r.shards {
 		applied := h.applied.Load()
 		lines = append(lines, fmt.Sprintf(
-			"shard %d addr=%s alive=%t queries=%d seq=%d lag=%d ping_us=%d misses=%d",
+			"shard %d addr=%s alive=%t queries=%d seq=%d lag=%d ping_us=%d misses=%d subpats=%d refs=%d saved=%d",
 			h.id, h.addr, h.alive.Load(), r.table.counts[h.id],
-			h.base+applied, r.seq-applied, h.pingUs.Load(), h.misses.Load()))
+			h.base+applied, r.seq-applied, h.pingUs.Load(), h.misses.Load(),
+			h.mqoSubpats.Load(), h.mqoRefs.Load(), h.mqoSaved.Load()))
 	}
 	return lines
 }

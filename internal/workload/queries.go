@@ -260,6 +260,46 @@ func (d *Dataset) BinaryTreeQueries(count, size int, seed int64) []*query.Graph 
 	return out
 }
 
+// OverlappingQueries generates a query set with a controllable sharing
+// axis for the multi-query optimization layer (DESIGN.md §17):
+// round(overlap*count) of the queries are copies of one base tree query
+// — identical spanning trees, so a multi-query engine collapses them
+// into a single shared sub-pattern — and the rest are independent
+// random tree queries (which may still overlap by chance; the fraction
+// is a floor, not an exact share). overlap is clamped to [0, 1].
+func (d *Dataset) OverlappingQueries(count, size int, overlap float64, seed int64) []*query.Graph {
+	if overlap < 0 {
+		overlap = 0
+	}
+	if overlap > 1 {
+		overlap = 1
+	}
+	nShared := int(overlap*float64(count) + 0.5)
+	out := make([]*query.Graph, 0, count)
+	if nShared > 0 {
+		base := d.TreeQueries(1, size, seed)
+		for i := 0; i < nShared && len(base) == 1; i++ {
+			out = append(out, CloneQuery(base[0]))
+		}
+	}
+	return append(out, d.TreeQueries(count-len(out), size, seed+101)...)
+}
+
+// CloneQuery deep-copies a query so each registration owns its pattern.
+func CloneQuery(q *query.Graph) *query.Graph {
+	nq := query.NewGraph(q.NumVertices())
+	for u := 0; u < q.NumVertices(); u++ {
+		nq.SetLabels(graph.VertexID(u), q.Labels(graph.VertexID(u))...)
+	}
+	for _, e := range q.Edges() {
+		if err := nq.AddEdge(e.From, e.Label, e.To); err != nil {
+			// Copying a validated query; unreachable.
+			panic(err)
+		}
+	}
+	return nq
+}
+
 // ShrinkQuery removes one random edge from q while keeping it connected —
 // the paper constructs smaller tree queries from size-12 ones this way. It
 // returns nil when no edge can be removed without disconnecting q or

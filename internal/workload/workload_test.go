@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"turboflux/internal/graph"
+	"turboflux/internal/query"
 	"turboflux/internal/stream"
 )
 
@@ -238,5 +239,62 @@ func TestShrinkQuery(t *testing.T) {
 			t.Fatalf("cannot shrink below %d edges", q.NumEdges())
 		}
 		q = nq
+	}
+}
+
+func TestOverlappingQueries(t *testing.T) {
+	d := LSBench(LSBenchConfig{Users: 100, Seed: 1})
+	qs := d.OverlappingQueries(8, 4, 0.5, 7)
+	if len(qs) != 8 {
+		t.Fatalf("got %d queries, want 8", len(qs))
+	}
+	same := func(a, b *query.Graph) bool {
+		if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+			return false
+		}
+		for u := 0; u < a.NumVertices(); u++ {
+			la, lb := a.Labels(graph.VertexID(u)), b.Labels(graph.VertexID(u))
+			if len(la) != len(lb) {
+				return false
+			}
+			for i := range la {
+				if la[i] != lb[i] {
+					return false
+				}
+			}
+		}
+		for i, e := range a.Edges() {
+			if b.Edge(i) != e {
+				return false
+			}
+		}
+		return true
+	}
+	// The first round(0.5*8)=4 queries are copies of one base tree.
+	for i := 1; i < 4; i++ {
+		if !same(qs[0], qs[i]) {
+			t.Fatalf("query %d does not share the base tree", i)
+		}
+		if qs[0] == qs[i] {
+			t.Fatalf("query %d aliases the base instead of cloning it", i)
+		}
+	}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if q.NumEdges() != 4 {
+			t.Fatalf("query has %d edges, want 4", q.NumEdges())
+		}
+	}
+	// Overlap clamps: everything shared at >1, nothing at <0.
+	all := d.OverlappingQueries(4, 3, 1.5, 9)
+	for i := 1; i < len(all); i++ {
+		if !same(all[0], all[i]) {
+			t.Fatal("overlap > 1 must clamp to a fully shared set")
+		}
+	}
+	if got := len(d.OverlappingQueries(4, 3, -0.5, 9)); got != 4 {
+		t.Fatalf("overlap < 0: got %d queries, want 4", got)
 	}
 }

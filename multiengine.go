@@ -8,6 +8,7 @@ import (
 	"turboflux/internal/core"
 	"turboflux/internal/fanout"
 	"turboflux/internal/graph"
+	"turboflux/internal/mqo"
 	"turboflux/internal/stream"
 )
 
@@ -44,6 +45,64 @@ type mslot struct {
 	runIdx    []int32
 	runN      []int64
 	runErr    []error
+
+	// sub is the slot's refcounted sub-pattern (DESIGN.md §17), nil when
+	// the query's options are unshareable or sharing is disabled. While
+	// the sub-pattern has a single member the slot's engine stays private;
+	// at two members it is promoted to shared-DCG evaluation.
+	sub *subpat
+}
+
+// subpat is the evaluation state of one distinct sub-pattern (spanning
+// tree shape): the member slots sharing it, and — once two or more
+// members exist — the maintainer engine owning the shared DCG. Members
+// replay read-only against the maintained state, so within one update a
+// sub-pattern is a single-writer unit: the maintainer applies the DCG
+// transitions exactly once (before member replays on insertion, after
+// them on deletion) and the members' searches parallelize freely.
+type subpat struct {
+	entry   *mqo.Entry
+	members []*mslot // registration order
+
+	// maint owns the shared DCG and applies all transitions; nil while
+	// the sub-pattern has a single (private) member.
+	maint *core.Engine
+
+	// treeLabels[l] reports whether l is a spanning-tree edge label of
+	// the sub-pattern: the updates that actually transition the shared
+	// DCG. Dense by label, built at promotion.
+	treeLabels []bool
+
+	// task is the persistent pool task of the parallel window: maintain
+	// plus replay the engaged members, sequenced per update direction.
+	task func()
+
+	// Scratch of the current dispatch: the members engaged by the update,
+	// valid when engEpoch matches the coordinator's epoch (uint64 so it
+	// never wraps into a stale match).
+	engagedMembers []*mslot
+	engEpoch       uint64
+	runMark        uint32 // batch-run epoch: maintenance already scheduled
+}
+
+// anyMemberMentions reports whether any member's query mentions edge
+// label l (i.e. whether the sub-pattern will be engaged by an update
+// carrying it). Only used off the common path.
+func (sp *subpat) anyMemberMentions(l graph.Label) bool {
+	for _, s := range sp.members {
+		if _, ok := s.labels[l]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// treeRelevant reports whether label l transitions this sub-pattern's
+// shared DCG.
+//
+//tf:hotpath
+func (sp *subpat) treeRelevant(l graph.Label) bool {
+	return int(l) < len(sp.treeLabels) && sp.treeLabels[l]
 }
 
 // MultiEngine runs several continuous queries over one shared data graph,
@@ -119,6 +178,29 @@ type MultiEngine struct {
 	// shard per worker instead of one task per slot caps the barrier at
 	// W-1 channel handoffs per run. Rebuilt when the pool is resized.
 	shardTasks []func()
+
+	// Multi-query optimization state (DESIGN.md §17): the sub-pattern
+	// registry, the promoted (maintainer-owning) sub-patterns in promotion
+	// order, and the dispatch epoch stamping subpat scratch. sharing gates
+	// whether future registrations participate; runSubs lists the batch
+	// run's scheduled maintenance (sub-pattern, update index) pairs.
+	reg          *mqo.Registry
+	subs         []*subpat
+	unitEpoch    uint64
+	sharing      bool
+	pendingPos   bool // direction of the pending single update
+	runSubs      []runSub
+	maintEvals   uint64 // maintainer evaluations run
+	savedEvals   uint64 // member maintenance evaluations avoided by sharing
+	sharedRelays uint64 // member replays against a shared DCG
+}
+
+// runSub schedules one maintenance evaluation of a batch run: sp's
+// maintainer processes the update at idx (before member replays for
+// insertions, after them for deletions).
+type runSub struct {
+	sp  *subpat
+	idx int32
 }
 
 // runPair is one scheduled evaluation of a run: slot evaluates the batch
@@ -137,6 +219,8 @@ func NewMultiEngine(g0 *Graph) *MultiEngine {
 		slots:    make(map[string]*mslot),
 		pool:     fanout.New(0),
 		runEdges: make(map[Edge]uint32, 64),
+		reg:      mqo.NewRegistry(),
+		sharing:  true,
 	}
 	m.insEval = func(e *core.Engine) (int64, error) {
 		return e.EvalInsertedEdge(m.pending.From, m.pending.Label, m.pending.To)
@@ -199,8 +283,20 @@ func (m *MultiEngine) Close() error {
 	return nil
 }
 
-// Register adds a continuous query under the given name, building its DCG
-// over the current graph state. Registering a duplicate name fails.
+// SetSharing enables or disables sub-pattern sharing (DESIGN.md §17) for
+// FUTURE registrations; already-registered queries keep their mode. On
+// by default. Disabling before registering anything yields the pre-MQO
+// private-DCG-per-query behavior — the baseline the equivalence tests
+// and the mqo benchmark compare against.
+func (m *MultiEngine) SetSharing(on bool) { m.sharing = on }
+
+// Register adds a continuous query under the given name. The query's
+// spanning tree is canonicalized into a sub-pattern key: the first
+// registration of a shape builds a private DCG over the current graph
+// state, the second promotes that DCG to shared (one maintainer, members
+// replay read-only), and later ones join it without any DCG construction
+// at all. Unshareable options (work budget, ablations, WCO search) keep
+// the query fully private. Registering a duplicate name fails.
 func (m *MultiEngine) Register(name string, q *Query, opt Options) error {
 	if _, dup := m.slots[name]; dup {
 		return fmt.Errorf("turboflux: query %q already registered", name)
@@ -222,11 +318,46 @@ func (m *MultiEngine) Register(name string, q *Query, opt Options) error {
 			}
 		}
 	}
-	eng, err := core.New(m.g, q, copt)
+	tree, err := core.BuildTree(m.g, q, copt)
 	if err != nil {
 		return err
 	}
-	s.eng = eng
+	if m.sharing && core.OptionsShareable(copt) {
+		ent, created := m.reg.Acquire(mqo.KeyOf(q, tree))
+		if created {
+			// First member of this shape: private DCG until a second joins.
+			sp := &subpat{entry: ent}
+			ent.Payload = sp
+			eng, err := core.NewWithTree(m.g, q, tree, copt, nil)
+			if err != nil {
+				m.reg.Release(ent)
+				return err
+			}
+			s.eng = eng
+			sp.members = append(sp.members, s)
+			s.sub = sp
+		} else {
+			sp := ent.Payload.(*subpat)
+			if sp.maint == nil {
+				m.promote(sp)
+			}
+			eng, err := core.NewWithTree(m.g, q, tree, copt, sp.maint.DCG())
+			if err != nil {
+				m.reg.Release(ent)
+				return err
+			}
+			eng.ShareDCG()
+			s.eng = eng
+			sp.members = append(sp.members, s)
+			s.sub = sp
+		}
+	} else {
+		eng, err := core.NewWithTree(m.g, q, tree, copt, nil)
+		if err != nil {
+			return err
+		}
+		s.eng = eng
+	}
 	s.task = func() { s.count, s.err = m.curEval(s.eng) }
 	s.batchTask = func() {
 		for _, idx := range s.runIdx {
@@ -245,28 +376,89 @@ func (m *MultiEngine) Register(name string, q *Query, opt Options) error {
 	}
 	m.slots[name] = s
 	m.order = append(m.order, s)
-	m.rebuildLabelIndex()
+	m.indexSlot(s)
 	return nil
 }
 
-// rebuildLabelIndex recomputes byLabel from the registration order.
-func (m *MultiEngine) rebuildLabelIndex() {
-	maxL := graph.Label(0)
-	for _, s := range m.order {
-		for l := range s.labels { //tf:unordered-ok max over the set is order-independent
-			if l > maxL {
-				maxL = l
+// promote flips a single-member sub-pattern to shared evaluation: the
+// sole member's DCG is adopted by a fresh maintainer engine and the
+// member switches to read-only replay. Incremental maintenance keeps the
+// DCG at the declarative fixpoint of the current graph, so the adopted
+// state is exactly what a fresh build would produce — joining members
+// compute their matching orders from it directly.
+func (m *MultiEngine) promote(sp *subpat) {
+	donor := sp.members[0]
+	donor.eng.ShareDCG()
+	sp.maint = core.NewMaintainer(donor.eng)
+	tree := donor.eng.Tree()
+	for u := 0; u < tree.Q.NumVertices(); u++ {
+		if graph.VertexID(u) == tree.Root {
+			continue
+		}
+		l := tree.ParentEdge[u].Label
+		for int(l) >= len(sp.treeLabels) {
+			sp.treeLabels = append(sp.treeLabels, false)
+		}
+		sp.treeLabels[l] = true
+	}
+	sp.task = func() { m.runSubUnit(sp) }
+	m.subs = append(m.subs, sp)
+}
+
+// demote returns a sub-pattern to single-member private evaluation: the
+// surviving member takes DCG ownership back and the maintainer is
+// dropped. The survivor's rootSeen cache may have missed vertices the
+// maintainer settled — missing entries just re-probe on the next update.
+func (m *MultiEngine) demote(sp *subpat) {
+	sp.members[0].eng.UnshareDCG()
+	sp.maint = nil
+	sp.task = nil
+	sp.treeLabels = sp.treeLabels[:0]
+	for i, t := range m.subs {
+		if t == sp {
+			m.subs = append(m.subs[:i], m.subs[i+1:]...)
+			break
+		}
+	}
+}
+
+// indexSlot appends a newly registered slot to the label index — O(number
+// of labels the query mentions), keeping registration of N queries O(N)
+// total instead of the O(N²) a full per-registration rebuild costs.
+// Appending preserves the per-label registration order because the new
+// slot's position is the maximum.
+func (m *MultiEngine) indexSlot(s *mslot) {
+	s.pos = len(m.order) - 1
+	for l := range s.labels { //tf:unordered-ok each label's list keeps registration order; membership is per label
+		for int(l) >= len(m.byLabel) {
+			m.byLabel = append(m.byLabel, nil)
+		}
+		m.byLabel[l] = append(m.byLabel[l], s)
+	}
+	for len(m.order) > 64*len(m.engaged) {
+		m.engaged = append(m.engaged, 0)
+	}
+}
+
+// unindexSlot removes an unregistered slot from the label index and
+// renumbers the positions of the slots registered after it, preserving
+// per-label registration order.
+func (m *MultiEngine) unindexSlot(s *mslot) {
+	for l := range s.labels { //tf:unordered-ok per-label removal; each list's internal order is preserved
+		list := m.byLabel[l]
+		for i, t := range list {
+			if t == s {
+				m.byLabel[l] = append(list[:i], list[i+1:]...)
+				break
 			}
 		}
 	}
-	m.byLabel = make([][]*mslot, int(maxL)+1)
-	for i, s := range m.order {
-		s.pos = i
-		for l := range s.labels { //tf:unordered-ok each label's slot list is ordered by the outer registration-order loop
-			m.byLabel[l] = append(m.byLabel[l], s)
-		}
+	for i, t := range m.order {
+		t.pos = i
 	}
-	m.engaged = make([]uint64, (len(m.order)+63)/64)
+	for j := range m.engaged {
+		m.engaged[j] = 0
+	}
 }
 
 // queryEdgeLabels collects the set of edge labels a query mentions; an
@@ -280,7 +472,10 @@ func queryEdgeLabels(q *Query) map[graph.Label]struct{} {
 	return out
 }
 
-// Unregister removes a query and reports whether it was registered.
+// Unregister removes a query and reports whether it was registered. A
+// shared sub-pattern member releases its reference: at one remaining
+// member the sub-pattern demotes back to private evaluation, at zero the
+// registry entry is dropped and the shared DCG is garbage.
 func (m *MultiEngine) Unregister(name string) bool {
 	s, ok := m.slots[name]
 	if !ok {
@@ -293,7 +488,19 @@ func (m *MultiEngine) Unregister(name string) bool {
 			break
 		}
 	}
-	m.rebuildLabelIndex()
+	m.unindexSlot(s)
+	if sp := s.sub; sp != nil {
+		for i, t := range sp.members {
+			if t == s {
+				sp.members = append(sp.members[:i], sp.members[i+1:]...)
+				break
+			}
+		}
+		left := m.reg.Release(sp.entry)
+		if left == 1 && sp.maint != nil {
+			m.demote(sp)
+		}
+	}
 	return true
 }
 
@@ -342,6 +549,7 @@ func (m *MultiEngine) Insert(from VertexID, l Label, to VertexID) (map[string]in
 	}
 	m.pending = Edge{From: from, Label: l, To: to}
 	m.curEval = m.insEval
+	m.pendingPos = true
 	return m.fanOut(l, created[:nc])
 }
 
@@ -355,6 +563,7 @@ func (m *MultiEngine) Delete(from VertexID, l Label, to VertexID) (map[string]in
 	}
 	m.pending = Edge{From: from, Label: l, To: to}
 	m.curEval = m.delEval
+	m.pendingPos = false
 	counts, err := m.fanOut(l, nil)
 	m.g.DeleteEdge(from, l, to)
 	return counts, err
@@ -370,13 +579,24 @@ func (m *MultiEngine) Apply(u Update) (map[string]int64, error) {
 	case stream.OpVertex:
 		if !m.g.HasVertex(u.Vertex) {
 			m.g.EnsureVertex(u.Vertex, u.Labels...)
-			for _, s := range m.order {
-				s.eng.NotifyVertexAdded(u.Vertex)
-			}
+			m.notifyVertexAdded(u.Vertex)
 		}
 		return nil, nil
 	default:
 		return nil, fmt.Errorf("turboflux: unknown update op %d", u.Op)
+	}
+}
+
+// notifyVertexAdded routes root-candidate bookkeeping for a new vertex:
+// every slot (shared members no-op — their DCG is not theirs to touch)
+// plus every maintainer, which settles the vertex once per shared
+// sub-pattern instead of once per member.
+func (m *MultiEngine) notifyVertexAdded(v VertexID) {
+	for _, s := range m.order {
+		s.eng.NotifyVertexAdded(v)
+	}
+	for _, sp := range m.subs {
+		sp.maint.NotifyVertexAdded(v)
 	}
 }
 
@@ -467,6 +687,12 @@ func (m *MultiEngine) scheduleRun(start int, boundary func(i int)) int {
 	if m.edgeEpoch == 0 || len(m.runEdges) > maxRunEdges {
 		m.runEdges = make(map[Edge]uint32, 64)
 		m.edgeEpoch = 1
+		// The sub-pattern run marks are keyed by the same epoch; a stale
+		// mark equal to the restarted epoch would silently skip a
+		// maintenance evaluation.
+		for _, sp := range m.subs {
+			sp.runMark = 0
+		}
 	}
 	i := start
 loop:
@@ -528,9 +754,7 @@ loop:
 			}
 			// Solo: declare and notify every engine, sequential position.
 			m.g.EnsureVertex(u.Vertex, u.Labels...)
-			for _, s := range m.order {
-				s.eng.NotifyVertexAdded(u.Vertex)
-			}
+			m.notifyVertexAdded(u.Vertex)
 			if boundary != nil {
 				boundary(i)
 			}
@@ -591,6 +815,7 @@ func (m *MultiEngine) anyEngaged(rel []*mslot) bool {
 //
 //tf:hotpath
 func (m *MultiEngine) engageRun(idx int, rel []*mslot) {
+	l := m.batch[idx].Edge.Label
 	for _, s := range rel {
 		if m.engaged[s.pos>>6]&(1<<(uint(s.pos)&63)) == 0 {
 			m.engaged[s.pos>>6] |= 1 << (uint(s.pos) & 63)
@@ -602,6 +827,18 @@ func (m *MultiEngine) engageRun(idx int, rel []*mslot) {
 		}
 		s.runIdx = append(s.runIdx, int32(idx))
 		m.runPairs = append(m.runPairs, runPair{idx: int32(idx), k: int32(len(s.runIdx) - 1), slot: s})
+		// A tree-relevant update transitions the sub-pattern's shared DCG:
+		// schedule exactly one maintenance evaluation for it. (Such an
+		// update engages every member, so the conflict rule above already
+		// guarantees it is this sub-pattern's only update in the run;
+		// non-tree-relevant updates touch no shared state and need none.)
+		if sp := s.sub; sp != nil && sp.maint != nil && sp.treeRelevant(l) && sp.runMark != m.edgeEpoch {
+			sp.runMark = m.edgeEpoch
+			m.runSubs = append(m.runSubs, runSub{sp: sp, idx: int32(idx)})
+			m.maintEvals++
+			m.savedEvals += uint64(len(sp.members) - 1)
+			m.sharedRelays += uint64(len(sp.members))
+		}
 	}
 	m.evals += uint64(len(rel))
 	m.skipped += uint64(len(m.order) - len(rel))
@@ -615,6 +852,17 @@ func (m *MultiEngine) engageRun(idx int, rel []*mslot) {
 //
 //tf:hotpath
 func (m *MultiEngine) flushRun(start, end int, boundary func(i int)) {
+	// Shared-DCG maintenance for the run's insertions happens before the
+	// window opens: member replays gate on the post-maintenance state. The
+	// graph already holds every run insertion (pre-applied in batch
+	// order), and a maintainer only reads adjacency through its tree
+	// labels, whose single run update is the one it is maintaining — the
+	// same frozen-window argument the member evaluations rely on.
+	for _, rs := range m.runSubs {
+		if u := m.batch[rs.idx]; u.Op == stream.OpInsert {
+			rs.sp.maint.MaintainInsertedEdge(u.Edge.From, u.Edge.Label, u.Edge.To)
+		}
+	}
 	if len(m.runSlots) > 0 {
 		for _, s := range m.runSlots {
 			s.buffering = true
@@ -671,6 +919,23 @@ func (m *MultiEngine) flushRun(start, end int, boundary func(i int)) {
 			boundary(next)
 		}
 	}
+	// Shared-DCG maintenance for the run's deletions happens after every
+	// member has replayed against the still-intact state and before the
+	// edges leave the graph (Algorithm 2's evaluate-before-remove order);
+	// shared members then re-sample their matching orders against the
+	// post-clearing DCG, where a private engine would have adjusted.
+	if len(m.runSubs) > 0 {
+		for _, rs := range m.runSubs {
+			if u := m.batch[rs.idx]; u.Op == stream.OpDelete {
+				rs.sp.maint.MaintainBeforeDelete(u.Edge.From, u.Edge.Label, u.Edge.To)
+			}
+		}
+	}
+	for _, pr := range m.runPairs {
+		if m.batch[pr.idx].Op == stream.OpDelete && pr.slot.eng.SharedMember() {
+			pr.slot.eng.AdjustOrderDeferred()
+		}
+	}
 	for _, e := range m.runDels {
 		m.g.DeleteEdge(e.From, e.Label, e.To)
 	}
@@ -683,6 +948,33 @@ func (m *MultiEngine) flushRun(start, end int, boundary func(i int)) {
 	m.runDels = m.runDels[:0]
 	m.runSlots = m.runSlots[:0]
 	m.runPairs = m.runPairs[:0]
+	m.runSubs = m.runSubs[:0]
+}
+
+// runSubUnit is a promoted sub-pattern's persistent pool task for the
+// single-update parallel window: the maintainer applies the update's DCG
+// transitions exactly once and the engaged members replay read-only,
+// sequenced by direction — maintenance first for insertions (members
+// gate on the final state), last for deletions (members search the
+// still-intact state, then the maintainer clears and the members
+// re-sample their matching orders against the post-clearing DCG, the
+// state a private engine would have adjusted on).
+func (m *MultiEngine) runSubUnit(sp *subpat) {
+	p := m.pending
+	if m.pendingPos {
+		sp.maint.MaintainInsertedEdge(p.From, p.Label, p.To)
+		for _, s := range sp.engagedMembers {
+			s.count, s.err = m.curEval(s.eng)
+		}
+	} else {
+		for _, s := range sp.engagedMembers {
+			s.count, s.err = m.curEval(s.eng)
+		}
+		sp.maint.MaintainBeforeDelete(p.From, p.Label, p.To)
+		for _, s := range sp.engagedMembers {
+			s.eng.AdjustOrderDeferred()
+		}
+	}
 }
 
 // fanOut evaluates the already-applied (insert) or not-yet-removed
@@ -709,8 +1001,15 @@ func (m *MultiEngine) fanOut(l Label, created []VertexID) (map[string]int64, err
 }
 
 // fanOutSeq is the sequential path: every engine, registration order,
-// direct OnMatch delivery.
+// direct OnMatch delivery. Shared sub-patterns are maintained once per
+// update — before the member replays for insertions (members gate on the
+// post-maintenance state), after them for deletions (members replay
+// against the still-intact state, then the maintainer clears and the
+// members re-sample their matching orders).
 func (m *MultiEngine) fanOutSeq() (map[string]int64, error) {
+	if m.pendingPos {
+		m.maintainAll(true)
+	}
 	var counts map[string]int64
 	errs := m.errs[:0]
 	for _, s := range m.order {
@@ -726,13 +1025,43 @@ func (m *MultiEngine) fanOutSeq() (map[string]int64, error) {
 			counts[s.name] = n
 		}
 	}
+	if !m.pendingPos {
+		m.maintainAll(false)
+	}
 	m.errs = errs[:0]
 	return counts, errors.Join(errs...)
 }
 
+// maintainAll runs every promoted sub-pattern's maintainer for the
+// pending update (the sequential path evaluates every member, so every
+// shared DCG must be maintained; a label the tree never mentions costs
+// two cached root probes). Deletions additionally re-run each member's
+// deferred matching-order check against the post-clearing state.
+func (m *MultiEngine) maintainAll(positive bool) {
+	p := m.pending
+	for _, sp := range m.subs {
+		if positive {
+			sp.maint.MaintainInsertedEdge(p.From, p.Label, p.To)
+		} else {
+			sp.maint.MaintainBeforeDelete(p.From, p.Label, p.To)
+			for _, s := range sp.members {
+				s.eng.AdjustOrderDeferred()
+			}
+		}
+		m.maintEvals++
+		m.savedEvals += uint64(len(sp.members) - 1)
+		m.sharedRelays += uint64(len(sp.members))
+	}
+}
+
 // fanOutParallel routes the update to the engines whose queries mention
 // label l and runs them on the pool, then replays each engine's buffered
-// emissions in registration order. Single-relevant-engine updates run
+// emissions in registration order. Tasks are keyed by sub-pattern, not
+// query: a promoted sub-pattern's engaged members ride ONE pool task
+// with their maintainer (maintain → replay members for insertions,
+// replay → maintain → re-sample orders for deletions), keeping the
+// shared DCG single-writer inside the window while distinct sub-patterns
+// and private slots parallelize. Single-relevant-engine updates run
 // inline (no barrier, no buffering) — the common case for disjoint
 // workloads.
 func (m *MultiEngine) fanOutParallel(l Label, created []VertexID) (map[string]int64, error) {
@@ -745,13 +1074,23 @@ func (m *MultiEngine) fanOutParallel(l Label, created []VertexID) (map[string]in
 		// The skipped evaluation's only structural effect would have been
 		// root-candidate bookkeeping for vertices this insert created.
 		// Inserts that create vertices are rare at steady state, so the
-		// full scan stays off the common path.
+		// full scan stays off the common path. Maintainers whose
+		// sub-pattern has no relevant member will not run this update and
+		// are notified instead (an engaged maintainer settles the new
+		// endpoints itself through ensureRootEdge).
 		for _, s := range m.order {
 			if _, ok := s.labels[l]; ok {
 				continue
 			}
 			for _, v := range created {
 				s.eng.NotifyVertexAdded(v)
+			}
+		}
+		for _, sp := range m.subs {
+			if !sp.anyMemberMentions(l) {
+				for _, v := range created {
+					sp.maint.NotifyVertexAdded(v)
+				}
 			}
 		}
 	}
@@ -762,7 +1101,23 @@ func (m *MultiEngine) fanOutParallel(l Label, created []VertexID) (map[string]in
 		return nil, nil
 	case 1:
 		s := rel[0]
-		n, err := m.curEval(s.eng)
+		var n int64
+		var err error
+		if sp := s.sub; sp != nil && sp.maint != nil {
+			p := m.pending
+			if m.pendingPos {
+				sp.maint.MaintainInsertedEdge(p.From, p.Label, p.To)
+				n, err = m.curEval(s.eng)
+			} else {
+				n, err = m.curEval(s.eng)
+				sp.maint.MaintainBeforeDelete(p.From, p.Label, p.To)
+				s.eng.AdjustOrderDeferred()
+			}
+			m.maintEvals++
+			m.sharedRelays++
+		} else {
+			n, err = m.curEval(s.eng)
+		}
 		if err != nil {
 			err = fmt.Errorf("query %q: %w", s.name, err)
 		}
@@ -773,11 +1128,25 @@ func (m *MultiEngine) fanOutParallel(l Label, created []VertexID) (map[string]in
 		return counts, err
 	}
 
+	m.unitEpoch++
 	tasks := m.tasks[:0]
 	for _, s := range rel {
 		s.buffering = true
 		s.count, s.err = 0, nil
-		tasks = append(tasks, s.task)
+		if sp := s.sub; sp != nil && sp.maint != nil {
+			if sp.engEpoch != m.unitEpoch {
+				sp.engEpoch = m.unitEpoch
+				sp.engagedMembers = sp.engagedMembers[:0]
+				tasks = append(tasks, sp.task)
+				m.maintEvals++
+			} else {
+				m.savedEvals++
+			}
+			sp.engagedMembers = append(sp.engagedMembers, s)
+			m.sharedRelays++
+		} else {
+			tasks = append(tasks, s.task)
+		}
 	}
 	m.tasks = tasks[:0]
 	m.pool.Run(tasks)
@@ -821,11 +1190,49 @@ func (m *MultiEngine) Stats() map[string]Stats {
 	return out
 }
 
-// TotalIntermediateBytes sums the DCG sizes of all registered queries.
+// TotalIntermediateBytes sums the maintained intermediate-result sizes,
+// counting each shared DCG once (at its first member) rather than once
+// per member — the memory actually held, and the denominator the mqo
+// benchmark's footprint comparison uses.
 func (m *MultiEngine) TotalIntermediateBytes() int64 {
 	var t int64
 	for _, s := range m.order {
+		if sp := s.sub; sp != nil && sp.maint != nil && s != sp.members[0] {
+			continue
+		}
 		t += s.eng.IntermediateSizeBytes()
 	}
 	return t
+}
+
+// MQOStats is a snapshot of the multi-query optimization layer
+// (DESIGN.md §17): how many distinct sub-patterns the registered queries
+// collapsed into and how much maintenance work sharing has avoided.
+type MQOStats struct {
+	// SubPatterns counts distinct sub-patterns currently registered;
+	// SharedSubPatterns counts those promoted to a shared DCG (>= 2
+	// members); Refs totals the members across all sub-patterns.
+	SubPatterns       int
+	SharedSubPatterns int
+	Refs              int
+	// MaintainRuns counts maintainer evaluations executed; SavedEvals
+	// counts the member maintenance evaluations they deduplicated (a
+	// maintained update would otherwise have transitioned each member's
+	// private DCG separately); SharedReplays counts member replays
+	// against shared DCGs. SavedEvals/MaintainRuns is the dedup ratio.
+	MaintainRuns  uint64
+	SavedEvals    uint64
+	SharedReplays uint64
+}
+
+// MQOStats snapshots the sub-pattern sharing counters.
+func (m *MultiEngine) MQOStats() MQOStats {
+	return MQOStats{
+		SubPatterns:       m.reg.Len(),
+		SharedSubPatterns: len(m.subs),
+		Refs:              m.reg.TotalRefs(),
+		MaintainRuns:      m.maintEvals,
+		SavedEvals:        m.savedEvals,
+		SharedReplays:     m.sharedRelays,
+	}
 }

@@ -1,0 +1,323 @@
+package turboflux
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"turboflux/internal/stream"
+)
+
+// mqoOverlapSpecs builds a query mix with deliberate overlap: a few base
+// shapes, each registered two or three times with differing per-query
+// semantics (and, for the triangle, an extra member whose closing
+// non-tree edge label differs), so the spanning trees collapse into
+// shared sub-patterns while the completion joins stay distinct.
+func mqoOverlapSpecs(rng *rand.Rand) []parallelQuerySpec {
+	var specs []parallelQuerySpec
+	nBase := 2 + rng.Intn(2)
+	for b := 0; b < nBase; b++ {
+		base := parallelQuerySpec{
+			shape:   rng.Intn(4),
+			elabels: [3]Label{Label(rng.Intn(3)), Label(rng.Intn(3)), Label(rng.Intn(3))},
+			vlabel:  Label(rng.Intn(2)),
+		}
+		copies := 2 + rng.Intn(2)
+		for c := 0; c < copies; c++ {
+			s := base
+			if rng.Intn(2) == 1 {
+				s.semantics = Isomorphism
+			}
+			specs = append(specs, s)
+		}
+		if base.shape == 2 {
+			// A member that shares the spanning tree but not the closing
+			// non-tree edge: the completion join, not the DCG, must tell
+			// them apart.
+			s := base
+			s.elabels[2] = Label(rng.Intn(3))
+			specs = append(specs, s)
+		}
+	}
+	return specs
+}
+
+// runMQOStream runs the specs over ups with sub-pattern sharing on or
+// off, all queries writing one interleaved transcript (registration
+// order within an update is part of the compared bytes, exactly as in
+// runBatchStream). With churn, the first and last queries are
+// unregistered a third of the way in and re-registered (against the
+// then-current graph) at two thirds, exercising refcount release,
+// demotion, re-promotion and mid-stream shared-DCG adoption.
+func runMQOStream(t *testing.T, sharing bool, workers, batchSize int, specs []parallelQuerySpec, ups []Update, churn bool) (string, map[string]int64, MQOStats) {
+	t.Helper()
+	m := NewMultiEngine(NewGraph())
+	defer m.Close() //tf:unchecked-ok test teardown
+	m.SetSharing(sharing)
+	m.SetFanOutWorkers(workers)
+	var b strings.Builder
+	reg := func(i int) {
+		name := fmt.Sprintf("q%d", i)
+		q, opt := specs[i].build()
+		opt.OnMatch = func(positive bool, mapping []VertexID) {
+			sign := byte('+')
+			if !positive {
+				sign = '-'
+			}
+			fmt.Fprintf(&b, "%s%c%v;", name, sign, mapping)
+		}
+		if err := m.Register(name, q, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := range specs {
+		reg(i)
+	}
+	totals := map[string]int64{}
+	apply := func(seg []Update, off int) {
+		for _, chunk := range stream.Batches(seg, batchSize) {
+			base := off
+			counts, err := m.ApplyBatchFunc(chunk, func(i int) {
+				fmt.Fprintf(&b, "|%d;", base+i)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for name, n := range counts {
+				totals[name] += n
+			}
+			off += len(chunk)
+		}
+	}
+	if !churn {
+		apply(ups, 0)
+		return b.String(), totals, m.MQOStats()
+	}
+	cut1, cut2 := len(ups)/3, 2*len(ups)/3
+	churned := []int{0, len(specs) - 1}
+	apply(ups[:cut1], 0)
+	for _, i := range churned {
+		if !m.Unregister(fmt.Sprintf("q%d", i)) {
+			t.Fatalf("q%d was not registered", i)
+		}
+	}
+	apply(ups[cut1:cut2], cut1)
+	for _, i := range churned {
+		reg(i)
+	}
+	apply(ups[cut2:], cut2)
+	return b.String(), totals, m.MQOStats()
+}
+
+// TestMQOEquivalence is the acceptance property of the shared-evaluation
+// layer (DESIGN.md §17): for overlapping query mixes and random streams
+// (including mid-stream vertex creation and no-op updates), shared
+// sub-pattern evaluation emits byte-identical transcripts and counts to
+// the private-DCG-per-query baseline, for every worker count and batch
+// size.
+func TestMQOEquivalence(t *testing.T) {
+	nUpdates := 300
+	if testing.Short() {
+		nUpdates = 120
+	}
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			specs := mqoOverlapSpecs(rng)
+			ups := randomBatchStream(rng, nUpdates)
+			wantTr, wantTot, _ := runMQOStream(t, false, 1, 1, specs, ups, false)
+			for _, workers := range []int{1, 4, 8} {
+				for _, batch := range []int{1, 256} {
+					gotTr, gotTot, st := runMQOStream(t, true, workers, batch, specs, ups, false)
+					if st.SharedSubPatterns == 0 || st.MaintainRuns == 0 || st.SavedEvals == 0 {
+						t.Fatalf("workers=%d batch=%d: sharing never engaged: %+v", workers, batch, st)
+					}
+					if gotTr != wantTr {
+						t.Fatalf("workers=%d batch=%d: transcript diverged from private baseline %s",
+							workers, batch, firstDiff(gotTr, wantTr))
+					}
+					for name, want := range wantTot {
+						if got := gotTot[name]; got != want {
+							t.Fatalf("workers=%d batch=%d query %s: counts %d != %d",
+								workers, batch, name, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMQOChurnEquivalence layers unregister/re-register churn over the
+// delete-heavy churn stream: sub-patterns demote and re-promote
+// mid-stream, re-registered members adopt the maintained shared DCG in
+// place of a fresh build, and released slots recycle — all without the
+// transcript drifting a byte from the private baseline.
+func TestMQOChurnEquivalence(t *testing.T) {
+	waves := 4
+	if testing.Short() {
+		waves = 2
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			specs := mqoOverlapSpecs(rng)
+			ups := churnStream(rng, waves)
+			wantTr, wantTot, _ := runMQOStream(t, false, 1, 1, specs, ups, true)
+			for _, workers := range []int{1, 4, 8} {
+				for _, batch := range []int{1, 256} {
+					gotTr, gotTot, st := runMQOStream(t, true, workers, batch, specs, ups, true)
+					if st.MaintainRuns == 0 {
+						t.Fatalf("workers=%d batch=%d: sharing never engaged: %+v", workers, batch, st)
+					}
+					if gotTr != wantTr {
+						t.Fatalf("workers=%d batch=%d: transcript diverged from private baseline %s",
+							workers, batch, firstDiff(gotTr, wantTr))
+					}
+					for name, want := range wantTot {
+						if got := gotTot[name]; got != want {
+							t.Fatalf("workers=%d batch=%d query %s: counts %d != %d",
+								workers, batch, name, got, want)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMQORefcountLifecycle pins the registry bookkeeping end to end:
+// acquire, promote at the second member, survive member loss, demote at
+// one, re-promote on a fresh join, drop at zero — with every registered
+// query still matching at each stage.
+func TestMQORefcountLifecycle(t *testing.T) {
+	m := NewMultiEngine(NewGraph())
+	defer m.Close() //tf:unchecked-ok test teardown
+	m.SetFanOutWorkers(1)
+	spec := parallelQuerySpec{shape: 0} // 2-path, edge label 0, vertex label 0
+	reg := func(name string) {
+		q, opt := spec.build()
+		if err := m.Register(name, q, opt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := VertexID(1); v <= 8; v++ {
+		if _, err := m.Apply(DeclareVertex(v, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	check := func(stage string, subs, shared, refs int) {
+		t.Helper()
+		st := m.MQOStats()
+		if st.SubPatterns != subs || st.SharedSubPatterns != shared || st.Refs != refs {
+			t.Fatalf("%s: stats %+v, want subs=%d shared=%d refs=%d", stage, st, subs, shared, refs)
+		}
+	}
+
+	reg("a")
+	check("one member", 1, 0, 1)
+	reg("b")
+	check("promoted at two", 1, 1, 2)
+	reg("c")
+	check("third joins", 1, 1, 3)
+	// Unshareable options stay fully private: no registry participation.
+	q, opt := spec.build()
+	opt.WorkBudget = 1 << 20
+	if err := m.Register("d", q, opt); err != nil {
+		t.Fatal(err)
+	}
+	check("private member", 1, 1, 3)
+
+	counts, err := m.Insert(1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if counts[name] != 1 {
+			t.Fatalf("counts after shared insert = %v", counts)
+		}
+	}
+	if st := m.MQOStats(); st.MaintainRuns == 0 || st.SavedEvals == 0 {
+		t.Fatalf("maintenance never ran: %+v", st)
+	}
+
+	if !m.Unregister("b") {
+		t.Fatal("b not registered")
+	}
+	check("member released", 1, 1, 2)
+	if !m.Unregister("c") {
+		t.Fatal("c not registered")
+	}
+	check("demoted at one", 1, 0, 1)
+	counts, err = m.Insert(3, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["a"] != 1 || counts["d"] != 1 || len(counts) != 2 {
+		t.Fatalf("counts after demotion = %v", counts)
+	}
+
+	reg("c2")
+	check("re-promoted", 1, 1, 2)
+	counts, err = m.Insert(5, 0, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["a"] != 1 || counts["c2"] != 1 || counts["d"] != 1 {
+		t.Fatalf("counts after re-promotion = %v", counts)
+	}
+
+	if !m.Unregister("a") || !m.Unregister("c2") {
+		t.Fatal("unregister failed")
+	}
+	check("entry dropped at zero", 0, 0, 0)
+	counts, err = m.Insert(7, 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["d"] != 1 || len(counts) != 1 {
+		t.Fatalf("counts after full release = %v", counts)
+	}
+}
+
+// TestMQORegisterChurnAllocs guards the incremental label index:
+// registering and unregistering one query must cost the same number of
+// allocations whether 4 or 64 other queries are registered. The old
+// full-index rebuild allocated per registered query and would trip this.
+func TestMQORegisterChurnAllocs(t *testing.T) {
+	measure := func(n int) float64 {
+		m := NewMultiEngine(NewGraph())
+		defer m.Close() //tf:unchecked-ok test teardown
+		m.SetFanOutWorkers(1)
+		for i := 0; i < n; i++ {
+			q := NewQuery(2)
+			_ = q.AddEdge(0, Label(i%3), 1)
+			if err := m.Register(fmt.Sprintf("q%d", i), q, Options{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		churn := func() {
+			// A shape no resident query has, so each round walks the full
+			// private register/unregister path.
+			q := NewQuery(3)
+			_ = q.AddEdge(0, 1, 1)
+			_ = q.AddEdge(1, 2, 2)
+			if err := m.Register("churn", q, Options{}); err != nil {
+				t.Fatal(err)
+			}
+			if !m.Unregister("churn") {
+				t.Fatal("churn not registered")
+			}
+		}
+		churn() // prime index and map capacity
+		return testing.AllocsPerRun(100, churn)
+	}
+	small, large := measure(4), measure(64)
+	if large > small+8 {
+		t.Fatalf("Register/Unregister churn scales with registry size: %.1f allocs at 4 queries, %.1f at 64", small, large)
+	}
+}

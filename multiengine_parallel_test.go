@@ -180,8 +180,10 @@ func TestParallelFanOutEquivalence(t *testing.T) {
 func TestParallelFanOutStats(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	specs := []parallelQuerySpec{
+		// Two distinct tree shapes watching label 0: identical shapes would
+		// collapse into one shared sub-pattern and ride a single pool task.
 		{shape: 0, elabels: [3]Label{0, 0, 0}}, // watches label 0
-		{shape: 0, elabels: [3]Label{0, 0, 0}}, // watches label 0
+		{shape: 1, elabels: [3]Label{0, 0, 0}}, // watches label 0
 		{shape: 0, elabels: [3]Label{2, 2, 2}}, // watches label 2
 	}
 	ups := randomStream(rng, 200)
